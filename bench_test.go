@@ -1,0 +1,139 @@
+package repro
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation: each regenerates its experiment through the same harness
+// cmd/repro uses (internal/bench), at Test size so the full sweep stays
+// CI-friendly. Run `go run ./cmd/repro -size paper` for the
+// paper-scale numbers recorded in EXPERIMENTS.md.
+//
+// The trailing benchmarks exercise the real runtimes (not the
+// simulator): task spawn/join throughput on the work-stealing runtime,
+// the thread-per-task baseline, and a counter-query round trip.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/inncabs"
+	"repro/internal/machine"
+	"repro/internal/stdrt"
+	"repro/internal/taskrt"
+)
+
+// benchExperiment regenerates one experiment id per iteration.
+func benchExperiment(b *testing.B, id string) {
+	m := machine.IvyBridge()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(io.Discard, id, inncabs.Test, m); err != nil {
+			b.Fatalf("Run(%s): %v", id, err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+
+// BenchmarkTaskSpawnJoin measures the real runtime's per-task cost:
+// spawn + execute + join of an empty task from inside another task.
+func BenchmarkTaskSpawnJoin(b *testing.B) {
+	rt := taskrt.New(taskrt.WithWorkers(1))
+	defer rt.Shutdown()
+	b.ReportAllocs()
+	root := taskrt.AsyncF(rt, func() int {
+		for i := 0; i < b.N; i++ {
+			taskrt.AsyncF(rt, func() int { return 1 }).Get()
+		}
+		return 0
+	})
+	root.Get()
+}
+
+// BenchmarkStdSpawnJoin measures the thread-per-task baseline's per-task
+// cost for comparison — the gap is the paper's headline mechanism.
+func BenchmarkStdSpawnJoin(b *testing.B) {
+	rt := stdrt.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stdrt.Spawn(rt, func() int { return 1 }).Get()
+	}
+}
+
+// BenchmarkCounterEvaluate measures one counter query against a live
+// runtime — the cost of the paper's in-situ measurement path.
+func BenchmarkCounterEvaluate(b *testing.B) {
+	rt := taskrt.New(taskrt.WithWorkers(2))
+	defer rt.Shutdown()
+	reg := core.NewRegistry()
+	if err := rt.RegisterCounters(reg); err != nil {
+		b.Fatal(err)
+	}
+	name := "/threads{locality#0/total}/count/cumulative"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Evaluate(name, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInncabsSortReal runs the full sort benchmark on the real
+// work-stealing runtime (Test size), end to end.
+func BenchmarkInncabsSortReal(b *testing.B) {
+	sort, err := inncabs.ByName("sort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := taskrt.New()
+	defer rt.Shutdown()
+	hrt := inncabs.NewHPX(rt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sort.Run(hrt, inncabs.Test)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures simulated tasks per second of
+// the discrete-event engine on a mid-size graph.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	uts, err := inncabs.ByName("uts")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := uts.TaskGraph(inncabs.Small)
+	tasks := g.Stats().Tasks
+	m := machine.IvyBridge()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := simRun(m, g)
+		if err != nil || r.Tasks != tasks {
+			b.Fatalf("sim: %v (%d tasks)", err, r.Tasks)
+		}
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
+// BenchmarkAblation regenerates the cost-model ablation table.
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkGrainSweep regenerates the granularity-sweep experiment.
+func BenchmarkGrainSweep(b *testing.B) { benchExperiment(b, "grainsweep") }

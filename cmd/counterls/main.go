@@ -1,0 +1,64 @@
+// Command counterls lists the performance-counter types a fully
+// provisioned locality exposes: the task runtime's thread-manager
+// counters, the runtime memory/uptime counters, the baseline's
+// stdthreads counters, the modelled PAPI hardware counters, the AGAS and
+// parcel counters, and the statistics/arithmetics meta counter families.
+//
+// With -discover PATTERN it expands a (wildcarded) counter name into the
+// matching concrete instances instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/agas"
+	"repro/internal/hwsim"
+	"repro/internal/inncabs"
+	"repro/internal/machine"
+	"repro/internal/perfcli"
+	"repro/internal/stdrt"
+	"repro/internal/taskrt"
+)
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 2, "worker threads of the sample runtime")
+		discover = flag.String("discover", "", "expand a counter pattern into matching instances")
+	)
+	flag.Parse()
+
+	loc := agas.NewLocality(0, "counterls")
+	reg := loc.Registry()
+
+	rt := taskrt.New(taskrt.WithWorkers(*threads))
+	defer rt.Shutdown()
+	if err := rt.RegisterCounters(reg); err != nil {
+		fatal(err)
+	}
+	if err := stdrt.New().RegisterCounters(reg); err != nil {
+		fatal(err)
+	}
+	if err := hwsim.NewAccumulator(machine.IvyBridge(), 0).RegisterCounters(reg); err != nil {
+		fatal(err)
+	}
+	_ = inncabs.All() // ensure the suite links, for -discover examples in docs
+
+	if *discover != "" {
+		names, err := reg.Discover(*discover)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n.String())
+		}
+		return
+	}
+	perfcli.ListTo(os.Stdout, reg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "counterls:", err)
+	os.Exit(1)
+}

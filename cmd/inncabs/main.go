@@ -1,0 +1,185 @@
+// Command inncabs runs one benchmark of the ported Inncabs suite for
+// real — on the lightweight task runtime or the thread-per-task
+// baseline — with the paper's performance-counter command line attached.
+//
+// Usage:
+//
+//	inncabs -bench sort -runtime hpx -threads 4 \
+//	    -print-counter '/threads{locality#0/total}/count/cumulative' \
+//	    -print-counter '/threads{locality#0/total}/time/average'
+//	inncabs -bench fib -runtime std
+//	inncabs -list-benchmarks
+//	inncabs -bench sort -list-counters
+//
+// The run verifies the benchmark's checksum against the sequential
+// reference and reports the execution-time summary over the configured
+// number of samples (the paper takes 20 and reports medians).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inncabs"
+	"repro/internal/perfcli"
+	"repro/internal/stats"
+	"repro/internal/stdrt"
+	"repro/internal/taskrt"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "fib", "benchmark name")
+		rtName    = flag.String("runtime", "hpx", "runtime: hpx or std")
+		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads (hpx runtime)")
+		sizeStr   = flag.String("size", "small", "workload size: test, small, medium, paper")
+		samples   = flag.Int("samples", 3, "measurement samples (paper protocol: 20)")
+		policyStr = flag.String("policy", "async", "launch policy: async, sync, fork, deferred, optional")
+		listBench = flag.Bool("list-benchmarks", false, "list benchmarks and exit")
+		all       = flag.Bool("all", false, "run and verify the whole suite, print a summary table")
+		tracePath = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the task schedule to this file (hpx runtime)")
+	)
+	opts := perfcli.Bind(flag.CommandLine)
+	flag.Parse()
+
+	if *listBench {
+		for _, b := range inncabs.All() {
+			fmt.Printf("%-10s %-22s sync=%-18s grain=%s (%.2f µs)\n",
+				b.Name, b.Class, b.Sync, b.Granularity, b.PaperTaskUs)
+		}
+		return
+	}
+	var b *inncabs.Benchmark
+	var err error
+	if !*all {
+		if b, err = inncabs.ByName(*benchName); err != nil {
+			fatal(err)
+		}
+	}
+	size, err := inncabs.ParseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := taskrt.ParsePolicy(*policyStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := core.NewRegistry()
+	var rt inncabs.Runtime
+	switch *rtName {
+	case "hpx":
+		trt := taskrt.New(taskrt.WithWorkers(*threads))
+		defer trt.Shutdown()
+		if err := trt.RegisterCounters(reg); err != nil {
+			fatal(err)
+		}
+		if *tracePath != "" {
+			trt.EnableTracing(0)
+			defer func() {
+				events, dropped := trt.TraceEvents()
+				f, err := os.Create(*tracePath)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				if err := taskrt.WriteChromeTrace(f, events); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("trace: %d task events written to %s (%d dropped)\n",
+					len(events), *tracePath, dropped)
+			}()
+		}
+		hrt := inncabs.NewHPX(trt)
+		hrt.Policy = policy
+		rt = hrt
+	case "std":
+		srt := stdrt.New()
+		if err := srt.RegisterCounters(reg); err != nil {
+			fatal(err)
+		}
+		rt = inncabs.NewStd(srt)
+	default:
+		fatal(fmt.Errorf("unknown runtime %q (hpx or std)", *rtName))
+	}
+
+	session, err := opts.Start(reg)
+	if err != nil {
+		fatal(err)
+	}
+	if opts.ListCounters {
+		return
+	}
+
+	if *all {
+		runSuite(rt, size, *samples)
+		if session != nil {
+			if err := session.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("benchmark %s on %s, %s size, %d sample(s)\n", b.Name, rt.Name(), size, *samples)
+	want := b.RefChecksum(size)
+	var checksum int64
+	summary := stats.Repeat(*samples, func() float64 {
+		start := time.Now()
+		checksum = b.Run(rt, size)
+		elapsed := time.Since(start)
+		if session != nil {
+			session.Sample() // the paper's evaluate-and-reset per sample
+		}
+		return elapsed.Seconds()
+	})
+	if session != nil {
+		if err := session.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	status := "OK"
+	if checksum != want {
+		status = fmt.Sprintf("CHECKSUM MISMATCH (got %d want %d)", checksum, want)
+		defer os.Exit(1)
+	}
+	fmt.Printf("verification: %s\n", status)
+	fmt.Printf("execution time [s]: %s\n", summary)
+}
+
+// runSuite executes every benchmark, verifying checksums, and prints a
+// per-benchmark summary.
+func runSuite(rt inncabs.Runtime, size inncabs.Size, samples int) {
+	fmt.Printf("Inncabs suite on %s, %s size, %d sample(s) each\n\n", rt.Name(), size, samples)
+	fmt.Printf("%-10s %-22s %-12s %-14s %s\n", "benchmark", "class", "verify", "median [s]", "spread [s]")
+	failures := 0
+	for _, b := range inncabs.All() {
+		var checksum int64
+		summary := stats.Repeat(samples, func() float64 {
+			start := time.Now()
+			checksum = b.Run(rt, size)
+			return time.Since(start).Seconds()
+		})
+		verdict := "OK"
+		if checksum != b.RefChecksum(size) {
+			verdict = "MISMATCH"
+			failures++
+		}
+		fmt.Printf("%-10s %-22s %-12s %-14.4f %.4f..%.4f\n",
+			b.Name, b.Class, verdict, summary.Median, summary.Min, summary.Max)
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d benchmark(s) failed verification\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall benchmarks verified")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inncabs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command perfmon attaches to a running application's parcel port and
+// monitors its performance counters remotely — the paper's "any counter
+// can be accessed remotely" demonstrated across processes.
+//
+// Usage:
+//
+//	perfmon -addr 127.0.0.1:7110 -types
+//	perfmon -addr 127.0.0.1:7110 -discover '/threads{locality#0/worker-thread#*}/time/average'
+//	perfmon -addr 127.0.0.1:7110 -counter '/threads{locality#0/total}/idle-rate' -interval 1s -n 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/parcel"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7110", "parcel address of the target application")
+		types    = flag.Bool("types", false, "list the remote counter types")
+		discover = flag.String("discover", "", "expand a remote counter pattern")
+		counter  = flag.String("counter", "", "remote counter to read")
+		interval = flag.Duration("interval", time.Second, "sampling interval with -n > 1")
+		n        = flag.Int("n", 1, "number of samples")
+		reset    = flag.Bool("reset", false, "evaluate-and-reset on each sample")
+	)
+	flag.Parse()
+
+	cli, err := parcel.Dial(*addr, nil, 0)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+
+	switch {
+	case *types:
+		infos, err := cli.Types()
+		if err != nil {
+			fatal(err)
+		}
+		for _, info := range infos {
+			fmt.Printf("%-55s %s\n", info.TypeName, info.HelpText)
+		}
+	case *discover != "":
+		names, err := cli.Discover(*discover)
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range names {
+			fmt.Println(name)
+		}
+	case *counter != "":
+		for i := 0; i < *n; i++ {
+			if i > 0 {
+				time.Sleep(*interval)
+			}
+			v, err := cli.Evaluate(*counter, *reset)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s  %s = %g (count %d, %s)\n",
+				v.Time.Format(time.RFC3339), v.Name, v.Float64(), v.Count, v.Status)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfmon:", err)
+	os.Exit(1)
+}

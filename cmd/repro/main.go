@@ -1,0 +1,80 @@
+// Command repro regenerates the paper's tables and figures from the
+// modelled Ivy Bridge platform and the Inncabs task graphs.
+//
+// Usage:
+//
+//	repro                       # regenerate everything at the default size
+//	repro -only fig5            # one experiment
+//	repro -size paper           # the paper-scale workloads (slower)
+//	repro -list                 # list experiment ids
+//	repro -out results.txt      # write to a file instead of stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/inncabs"
+	"repro/internal/machine"
+)
+
+func main() {
+	var (
+		only     = flag.String("only", "", "regenerate a single experiment (e.g. table5, fig11)")
+		sizeStr  = flag.String("size", "medium", "workload size: test, small, medium, paper")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		outPath  = flag.String("out", "", "write output to this file instead of stdout")
+		csvDir   = flag.String("csv", "", "also export the raw figure data as CSV files into this directory")
+		machName = flag.String("machine", "ivybridge", "platform model: ivybridge (the paper's node) or epyc")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Printf("%-8s %s\n", id, bench.Describe(id))
+		}
+		return
+	}
+	size, err := inncabs.ParseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	m, ok := machine.Presets()[*machName]
+	if !ok {
+		fatal(fmt.Errorf("unknown machine %q (have ivybridge, epyc)", *machName))
+	}
+	fmt.Fprintf(out, "Reproduction platform model: %s\n\n", m)
+	if *csvDir != "" {
+		files, err := bench.ExportAllCSV(*csvDir, size, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "repro: wrote %d CSV files to %s\n", len(files), *csvDir)
+	}
+	if *only != "" {
+		if err := bench.Run(out, *only, size, m); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := bench.RunAll(out, size, m); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

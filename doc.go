@@ -1,0 +1,14 @@
+// Package repro reproduces "Using Intrinsic Performance Counters to
+// Assess Efficiency in Task-Based Parallel Applications" (Grubel,
+// Kaiser, Huck, Cook): an HPX-style in-runtime performance-counter
+// framework (internal/core), a lightweight work-stealing task runtime
+// (internal/taskrt) and a std::async thread-per-task baseline
+// (internal/stdrt), the fourteen-benchmark Inncabs suite ported to both
+// (internal/inncabs), a discrete-event scheduler simulator of the
+// paper's 20-core Ivy Bridge node (internal/machine, internal/sim), and
+// the harness that regenerates every table and figure of the paper's
+// evaluation (internal/bench, cmd/repro).
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+package repro

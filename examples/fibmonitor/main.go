@@ -1,0 +1,80 @@
+// Fibmonitor: in-situ monitoring of a running computation. While a
+// deeply recursive fib computation floods the runtime with fine-grained
+// tasks, the perfcli layer samples the thread-manager counters
+// periodically — the paper's --print-counter-interval workflow — and a
+// rolling statistics counter tracks the task-throughput rate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perfcli"
+	"repro/internal/taskrt"
+)
+
+func fib(rt *taskrt.Runtime, n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	if n < 14 {
+		return fib(rt, n-1) + fib(rt, n-2)
+	}
+	left := taskrt.AsyncF(rt, func() int64 { return fib(rt, n-1) })
+	return fib(rt, n-2) + left.Get()
+}
+
+func main() {
+	rt := taskrt.New(taskrt.WithWorkers(runtime.GOMAXPROCS(0)))
+	defer rt.Shutdown()
+	reg := core.NewRegistry()
+	if err := rt.RegisterCounters(reg); err != nil {
+		log.Fatal(err)
+	}
+
+	// Periodic CSV sampling of three counters, exactly as the command
+	// line flags -print-counter ... -print-counter-interval 100ms would
+	// configure it.
+	opts := &perfcli.Options{
+		Counters: []string{
+			"/threads{locality#0/total}/count/cumulative",
+			"/threads{locality#0/total}/time/average",
+			"/threads{locality#0/total}/count/instantaneous/pending",
+		},
+		Interval: 100 * time.Millisecond,
+	}
+	session, err := opts.Start(reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A rate counter derives task throughput from the cumulative count;
+	// its background sampler starts with the active set.
+	rateC, err := reg.Get(
+		"/statistics{/threads{locality#0/total}/count/cumulative}/rate@50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate := rateC.(*core.StatisticsCounter)
+	rate.Start()
+	defer rate.Stop()
+
+	start := time.Now()
+	result := fib(rt, 34)
+	elapsed := time.Since(start)
+
+	if err := session.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfib(34) = %d in %v\n", result, elapsed.Round(time.Millisecond))
+	if v := rate.Value(false); v.Valid() {
+		fmt.Printf("mean task throughput while running: %.0f tasks/s\n", v.Float64())
+	}
+	total, _ := reg.Evaluate("/threads{locality#0/total}/count/cumulative", false)
+	avg, _ := reg.Evaluate("/threads{locality#0/total}/time/average", false)
+	fmt.Printf("tasks executed: %d, average task duration: %v\n",
+		total.Raw, time.Duration(avg.Float64()).Round(time.Microsecond))
+}

@@ -1,0 +1,75 @@
+// Quickstart: spawn tasks on the lightweight runtime, wait on futures,
+// and read the runtime's performance counters through the uniform
+// counter framework — the 60-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/taskrt"
+)
+
+func fib(rt *taskrt.Runtime, n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	if n < 12 { // sequential below the cutoff
+		return fib(rt, n-1) + fib(rt, n-2)
+	}
+	// One child runs as a task, the other inline; Get on a worker
+	// executes other pending tasks while it waits (help-first).
+	left := taskrt.AsyncF(rt, func() int64 { return fib(rt, n-1) })
+	right := fib(rt, n-2)
+	return left.Get() + right
+}
+
+func main() {
+	// A runtime with four workers, instrumented into a counter registry.
+	rt := taskrt.New(taskrt.WithWorkers(runtime.GOMAXPROCS(0)))
+	defer rt.Shutdown()
+	reg := core.NewRegistry()
+	if err := rt.RegisterCounters(reg); err != nil {
+		log.Fatal(err)
+	}
+
+	// Launch policies mirror HPX: Async, Sync, Fork, Deferred.
+	hello := taskrt.Spawn(rt, taskrt.Async, func() string { return "hello from a task" })
+	fmt.Println(hello.Get())
+
+	fmt.Printf("fib(28) = %d\n", fib(rt, 28))
+
+	// Counters are addressed by hierarchical name, evaluated on demand.
+	for _, name := range []string{
+		"/threads{locality#0/total}/count/cumulative",
+		"/threads{locality#0/total}/time/average",
+		"/threads{locality#0/total}/time/average-overhead",
+		"/threads{locality#0/total}/count/stolen",
+		"/threads{locality#0/total}/idle-rate",
+	} {
+		v, err := reg.Evaluate(name, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-55s = %.1f %s\n", name, v.Float64(), unitOf(reg, v.Name))
+	}
+
+	// Meta counters compose: the average of a ratio of two counters.
+	ratio, err := reg.Evaluate(
+		"/arithmetics/divide@/threads{locality#0/total}/time/cumulative-overhead,"+
+			"/threads{locality#0/total}/time/cumulative", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduling overhead per unit of task time: %.4f\n", ratio.Float64())
+}
+
+func unitOf(reg *core.Registry, fullName string) string {
+	c, err := reg.Get(fullName)
+	if err != nil {
+		return ""
+	}
+	return c.Info().Unit
+}

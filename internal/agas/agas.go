@@ -1,0 +1,188 @@
+// Package agas is a miniature Active Global Address Space: it names
+// localities (the HPX term for processes/nodes), holds each locality's
+// counter registry, and resolves full counter names — including their
+// locality#N instance prefix — to the owning locality. This is the
+// mechanism behind the paper's claim that "any Performance Counter can
+// be accessed remotely (from a different locality) or locally": the
+// name itself carries the location.
+//
+// AGAS operations are themselves counted and exposed as
+// /agas{locality#L/total}/count/{bind,resolve,unbind} counters.
+package agas
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Locality is one participant: an id, a human-readable name and a
+// counter registry.
+type Locality struct {
+	id       int64
+	name     string
+	registry *core.Registry
+
+	binds    *core.RawCounter
+	resolves *core.RawCounter
+	unbinds  *core.RawCounter
+}
+
+// NewLocality creates a locality with a fresh registry and its AGAS
+// counters registered.
+func NewLocality(id int64, name string) *Locality {
+	l := &Locality{id: id, name: name, registry: core.NewRegistry()}
+	mk := func(op, help string) *core.RawCounter {
+		cn := core.Name{Object: "agas", Counter: "count/" + op}.
+			WithInstances(core.LocalityInstance(id, "total", -1)...)
+		c := core.NewRawCounter(cn, core.Info{
+			TypeName: "/agas/count/" + op, HelpText: help,
+			Unit: core.UnitEvents, Version: "1.0",
+		})
+		l.registry.MustRegister(c)
+		return c
+	}
+	l.binds = mk("bind", "names bound into AGAS")
+	l.resolves = mk("resolve", "name resolutions served")
+	l.unbinds = mk("unbind", "names removed from AGAS")
+	return l
+}
+
+// ID returns the locality id used in counter instance names.
+func (l *Locality) ID() int64 { return l.id }
+
+// Name returns the locality's label.
+func (l *Locality) Name() string { return l.name }
+
+// Registry returns the locality's counter registry.
+func (l *Locality) Registry() *core.Registry { return l.registry }
+
+// CounterProvider is the minimal capability AGAS needs to route a
+// counter query: local registries and remote parcel clients both
+// provide it, so in-process and over-the-wire localities resolve
+// identically.
+type CounterProvider interface {
+	// Evaluate reads one counter by full name, optionally resetting it.
+	Evaluate(fullName string, reset bool) (core.Value, error)
+}
+
+// Resolver maps locality ids to localities (in-process) and remote
+// counter providers (other processes, reached through package parcel).
+type Resolver struct {
+	mu         sync.RWMutex
+	localities map[int64]*Locality
+	remotes    map[int64]CounterProvider
+}
+
+// NewResolver creates an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{
+		localities: make(map[int64]*Locality),
+		remotes:    make(map[int64]CounterProvider),
+	}
+}
+
+// BindRemote registers a remote locality by its counter provider
+// (typically a *parcel.Client). The id must not collide with a local or
+// remote binding.
+func (r *Resolver) BindRemote(id int64, p CounterProvider) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.localities[id]; dup {
+		return fmt.Errorf("agas: locality#%d already bound locally", id)
+	}
+	if _, dup := r.remotes[id]; dup {
+		return fmt.Errorf("agas: locality#%d already bound remotely", id)
+	}
+	r.remotes[id] = p
+	return nil
+}
+
+// Bind registers a locality; rebinding an id is an error.
+func (r *Resolver) Bind(l *Locality) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.localities[l.id]; dup {
+		return fmt.Errorf("agas: locality#%d already bound", l.id)
+	}
+	r.localities[l.id] = l
+	l.binds.Inc()
+	return nil
+}
+
+// Unbind removes a locality.
+func (r *Resolver) Unbind(id int64) {
+	r.mu.Lock()
+	l := r.localities[id]
+	delete(r.localities, id)
+	r.mu.Unlock()
+	if l != nil {
+		l.unbinds.Inc()
+	}
+}
+
+// Resolve returns the locality with the given id.
+func (r *Resolver) Resolve(id int64) (*Locality, error) {
+	r.mu.RLock()
+	l := r.localities[id]
+	r.mu.RUnlock()
+	if l == nil {
+		return nil, fmt.Errorf("agas: unknown locality#%d", id)
+	}
+	l.resolves.Inc()
+	return l, nil
+}
+
+// Localities returns the bound ids in unspecified order.
+func (r *Resolver) Localities() []int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]int64, 0, len(r.localities))
+	for id := range r.localities {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// LocalityOf extracts the owning locality id from a full counter name:
+// the leading "locality#N" instance element. Statistics meta counters
+// delegate to their embedded base counter.
+func LocalityOf(n core.Name) (int64, error) {
+	if n.BaseCounter != "" {
+		base, err := core.ParseName(n.BaseCounter)
+		if err != nil {
+			return 0, err
+		}
+		return LocalityOf(base)
+	}
+	if len(n.Instances) == 0 || n.Instances[0].Name != "locality" || !n.Instances[0].HasIndex {
+		return 0, fmt.Errorf("agas: counter %q carries no locality#N prefix", n)
+	}
+	return n.Instances[0].Index, nil
+}
+
+// EvaluateCounter resolves a full counter name across localities and
+// evaluates it on its owner — local access and access to any other
+// locality in the process are indistinguishable, as in HPX.
+func (r *Resolver) EvaluateCounter(fullName string, reset bool) (core.Value, error) {
+	n, err := core.ParseName(fullName)
+	if err != nil {
+		return core.Value{Name: fullName, Status: core.StatusCounterUnknown}, err
+	}
+	id, err := LocalityOf(n)
+	if err != nil {
+		return core.Value{Name: fullName, Status: core.StatusCounterUnknown}, err
+	}
+	r.mu.RLock()
+	remote := r.remotes[id]
+	r.mu.RUnlock()
+	if remote != nil {
+		return remote.Evaluate(fullName, reset)
+	}
+	l, err := r.Resolve(id)
+	if err != nil {
+		return core.Value{Name: fullName, Status: core.StatusCounterUnknown}, err
+	}
+	return l.registry.Evaluate(fullName, reset)
+}

@@ -1,0 +1,114 @@
+package agas
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLocalityCounters(t *testing.T) {
+	l := NewLocality(2, "node-2")
+	if l.ID() != 2 || l.Name() != "node-2" {
+		t.Fatalf("identity: %d %q", l.ID(), l.Name())
+	}
+	for _, op := range []string{"bind", "resolve", "unbind"} {
+		name := "/agas{locality#2/total}/count/" + op
+		v, err := l.Registry().Evaluate(name, false)
+		if err != nil {
+			t.Fatalf("Evaluate(%s): %v", name, err)
+		}
+		if v.Raw != 0 {
+			t.Fatalf("%s initial = %d", op, v.Raw)
+		}
+	}
+}
+
+func TestResolverBindResolve(t *testing.T) {
+	r := NewResolver()
+	l0 := NewLocality(0, "root")
+	l1 := NewLocality(1, "peer")
+	if err := r.Bind(l0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(l1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(NewLocality(0, "dup")); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+	got, err := r.Resolve(1)
+	if err != nil || got != l1 {
+		t.Fatalf("Resolve(1) = %v, %v", got, err)
+	}
+	if _, err := r.Resolve(9); err == nil {
+		t.Fatal("unknown locality resolved")
+	}
+	if len(r.Localities()) != 2 {
+		t.Fatalf("Localities = %v", r.Localities())
+	}
+	// Resolve was counted on the target locality.
+	v, _ := l1.Registry().Evaluate("/agas{locality#1/total}/count/resolve", false)
+	if v.Raw != 1 {
+		t.Fatalf("resolve count = %d", v.Raw)
+	}
+	r.Unbind(1)
+	if _, err := r.Resolve(1); err == nil {
+		t.Fatal("unbound locality still resolves")
+	}
+}
+
+func TestLocalityOf(t *testing.T) {
+	cases := map[string]int64{
+		"/threads{locality#0/total}/time/average":                              0,
+		"/threads{locality#7/worker-thread#3}/idle-rate":                       7,
+		"/statistics{/threads{locality#4/total}/count/cumulative}/average@100": 4,
+	}
+	for s, want := range cases {
+		n, err := core.ParseName(s)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", s, err)
+		}
+		got, err := LocalityOf(n)
+		if err != nil || got != want {
+			t.Errorf("LocalityOf(%q) = %d, %v want %d", s, got, err, want)
+		}
+	}
+	bad, _ := core.ParseName("/arithmetics/add@/x{a#0/b}/c,/x{a#0/b}/d")
+	if _, err := LocalityOf(bad); err == nil {
+		t.Error("name without locality prefix accepted")
+	}
+}
+
+func TestEvaluateCounterCrossLocality(t *testing.T) {
+	r := NewResolver()
+	l0 := NewLocality(0, "here")
+	l1 := NewLocality(1, "there")
+	if err := r.Bind(l0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(l1); err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewRawCounter(
+		core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(1, "total", -1)...),
+		core.Info{TypeName: "/threads/count/cumulative"})
+	l1.Registry().MustRegister(c)
+	c.Add(42)
+
+	// Access by name alone: the resolver routes to locality 1.
+	v, err := r.EvaluateCounter("/threads{locality#1/total}/count/cumulative", false)
+	if err != nil || v.Raw != 42 {
+		t.Fatalf("cross-locality evaluate = %+v, %v", v, err)
+	}
+	// Errors: unknown locality, unparsable name, missing counter.
+	if _, err := r.EvaluateCounter("/threads{locality#5/total}/count/cumulative", false); err == nil {
+		t.Fatal("unknown locality accepted")
+	}
+	if _, err := r.EvaluateCounter("garbage", false); err == nil {
+		t.Fatal("garbage name accepted")
+	}
+	if _, err := r.EvaluateCounter("/threads{locality#0/total}/count/cumulative", false); err == nil {
+		t.Fatal("missing counter on locality 0 accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderTable writes an aligned ASCII table.
+func RenderTable(w io.Writer, title string, headers []string, rows [][]string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(headers)
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// ChartSeries is one line of an ASCII chart.
+type ChartSeries struct {
+	// Name labels the series in the legend.
+	Name string
+	// Marker is the plot character.
+	Marker byte
+	// X and Y are the data (NaN Y values are skipped — failed runs).
+	X []float64
+	Y []float64
+}
+
+// RenderChart plots the series on a log-scaled Y axis, the paper's
+// presentation for execution times. Failed points (NaN) leave gaps.
+func RenderChart(w io.Writer, title, xLabel, yLabel string, series []ChartSeries) {
+	const width, height = 64, 18
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || s.Y[i] <= 0 {
+				continue
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if !any {
+		fmt.Fprintln(w, "  (no data: all runs failed)")
+		return
+	}
+	if maxY <= minY {
+		maxY = minY * 1.1
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	logMin, logMax := math.Log10(minY), math.Log10(maxY)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || s.Y[i] <= 0 {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			var rowF float64
+			if logMax > logMin {
+				rowF = (math.Log10(s.Y[i]) - logMin) / (logMax - logMin)
+			}
+			row := height - 1 - int(rowF*float64(height-1))
+			grid[row][col] = s.Marker
+		}
+	}
+	fmt.Fprintf(w, "  %s (log scale)\n", yLabel)
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = formatSI(maxY)
+		case height - 1:
+			label = formatSI(minY)
+		}
+		fmt.Fprintf(w, "  %10s |%s|\n", label, string(rowBytes))
+	}
+	fmt.Fprintf(w, "  %10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "  %10s  %-10g%*s\n", "", minX, width-10, fmt.Sprintf("%g  %s", maxX, xLabel))
+	for _, s := range series {
+		fmt.Fprintf(w, "      %c = %s\n", s.Marker, s.Name)
+	}
+}
+
+// formatSI renders a value with an SI suffix.
+func formatSI(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// WriteCSV emits the series as CSV for external plotting.
+func WriteCSV(w io.Writer, header []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}

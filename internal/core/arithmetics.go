@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// arithmeticsOps lists the operations of the /arithmetics counter family:
+// /arithmetics/add@<counter1>,<counter2>,... evaluates all operand
+// counters and combines their scaled values.
+var arithmeticsOps = []string{"add", "subtract", "multiply", "divide", "mean"}
+
+func registerArithmetics(r *Registry) {
+	for _, op := range arithmeticsOps {
+		op := op
+		info := Info{
+			TypeName: "/arithmetics/" + op,
+			HelpText: "combines the values of its operand counters with '" + op +
+				"' (/arithmetics/" + op + "@<counter1>,<counter2>,...)",
+			Version: "1.0",
+		}
+		r.MustRegisterType(info, func(n Name, reg *Registry) (Counter, error) {
+			return newArithmeticCounter(n, op, reg)
+		}, nil)
+	}
+}
+
+// ArithmeticCounter combines the values of several operand counters. The
+// paper uses such derived counters for ratios (e.g. overhead per task).
+type ArithmeticCounter struct {
+	name     Name
+	info     Info
+	op       string
+	operands []Counter
+}
+
+func newArithmeticCounter(n Name, op string, r *Registry) (*ArithmeticCounter, error) {
+	names := splitCounterList(n.Parameters)
+	if len(names) < 2 && op != "mean" || len(names) == 0 {
+		return nil, fmt.Errorf("core: arithmetic counter %q needs at least two operand counters", n)
+	}
+	operands := make([]Counter, 0, len(names))
+	for _, on := range names {
+		c, err := r.Get(on)
+		if err != nil {
+			return nil, fmt.Errorf("core: arithmetic counter %q: operand %q: %w", n, on, err)
+		}
+		operands = append(operands, c)
+	}
+	return &ArithmeticCounter{
+		name: n,
+		info: Info{TypeName: n.TypeName(), HelpText: op + " of " + strings.Join(names, ", ")},
+		op:   op, operands: operands,
+	}, nil
+}
+
+// splitCounterList splits a comma-separated list of counter names, being
+// careful not to split inside braces (statistics operands embed commas).
+func splitCounterList(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				if p := strings.TrimSpace(s[start:i]); p != "" {
+					out = append(out, p)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Name implements Counter.
+func (c *ArithmeticCounter) Name() Name { return c.name }
+
+// Info implements Counter.
+func (c *ArithmeticCounter) Info() Info { return c.info }
+
+// Value implements Counter. Raw carries the result in fixed-point with
+// scaling statScale. reset propagates to every operand.
+func (c *ArithmeticCounter) Value(reset bool) Value {
+	vals := make([]float64, len(c.operands))
+	status := StatusValid
+	for i, op := range c.operands {
+		v := op.Value(reset)
+		if !v.Valid() {
+			status = StatusInvalidData
+		}
+		vals[i] = v.Float64()
+	}
+	var res float64
+	switch c.op {
+	case "add":
+		for _, v := range vals {
+			res += v
+		}
+	case "subtract":
+		res = vals[0]
+		for _, v := range vals[1:] {
+			res -= v
+		}
+	case "multiply":
+		res = 1
+		for _, v := range vals {
+			res *= v
+		}
+	case "divide":
+		res = vals[0]
+		for _, v := range vals[1:] {
+			if v == 0 {
+				status = StatusInvalidData
+				res = 0
+				break
+			}
+			res /= v
+		}
+	case "mean":
+		res = mean(vals)
+	}
+	return Value{
+		Name:    c.name.String(),
+		Raw:     int64(math.Round(res * statScale)),
+		Scaling: statScale,
+		Count:   int64(len(vals)),
+		Time:    now(),
+		Status:  status,
+	}
+}
+
+// Reset implements Counter: resets every operand.
+func (c *ArithmeticCounter) Reset() {
+	for _, op := range c.operands {
+		op.Reset()
+	}
+}

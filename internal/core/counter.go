@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is the uniform interface every performance counter exposes.
+// Consumers never need to know what a counter measures: the command-line
+// printer, the policy engine and the remote monitor all operate on this
+// interface alone.
+type Counter interface {
+	// Name returns the full instance name of the counter.
+	Name() Name
+	// Info returns the counter-type metadata.
+	Info() Info
+	// Value evaluates the counter. If reset is true the counter's state
+	// is atomically reset as part of the same evaluation (the HPX
+	// "evaluate and reset" idiom the paper uses between samples).
+	Value(reset bool) Value
+	// Reset clears the counter's state without reading it.
+	Reset()
+}
+
+// Startable is implemented by counters that need background activity
+// (e.g. periodic sampling for rolling statistics). The registry starts a
+// counter when it is added to the active set and stops it when removed.
+type Startable interface {
+	Start()
+	Stop()
+}
+
+// now is replaceable for tests.
+var now = time.Now
+
+// ---------------------------------------------------------------------------
+// Raw counter: a monotonically adjustable integer event count.
+
+// RawCounter is a thread-safe integer counter. The zero value is unusable;
+// use NewRawCounter.
+type RawCounter struct {
+	name  Name
+	info  Info
+	value atomic.Int64
+}
+
+// NewRawCounter creates a raw counter with the given full name and info.
+func NewRawCounter(name Name, info Info) *RawCounter {
+	return &RawCounter{name: name, info: info}
+}
+
+// Add increments the counter by delta (may be negative).
+func (c *RawCounter) Add(delta int64) { c.value.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *RawCounter) Inc() { c.value.Add(1) }
+
+// Set stores an absolute value.
+func (c *RawCounter) Set(v int64) { c.value.Store(v) }
+
+// Load returns the current value without producing a Value record.
+func (c *RawCounter) Load() int64 { return c.value.Load() }
+
+// Name implements Counter.
+func (c *RawCounter) Name() Name { return c.name }
+
+// Info implements Counter.
+func (c *RawCounter) Info() Info { return c.info }
+
+// Value implements Counter.
+func (c *RawCounter) Value(reset bool) Value {
+	var raw int64
+	if reset {
+		raw = c.value.Swap(0)
+	} else {
+		raw = c.value.Load()
+	}
+	return Value{Name: c.name.String(), Raw: raw, Time: now(), Status: StatusValid}
+}
+
+// Reset implements Counter.
+func (c *RawCounter) Reset() { c.value.Store(0) }
+
+// ---------------------------------------------------------------------------
+// Func counter: wraps an arbitrary sampling function.
+
+// FuncCounter adapts a plain function into a Counter. The function is
+// invoked on every evaluation; an optional reset function supports the
+// evaluate-and-reset idiom.
+type FuncCounter struct {
+	name    Name
+	info    Info
+	scaling int64
+	sample  func() int64
+	reset   func()
+}
+
+// NewFuncCounter creates a counter backed by sample. reset may be nil if
+// the underlying quantity cannot be reset (Reset is then a no-op).
+// scaling, if > 1, is attached to every produced Value.
+func NewFuncCounter(name Name, info Info, scaling int64, sample func() int64, reset func()) *FuncCounter {
+	return &FuncCounter{name: name, info: info, scaling: scaling, sample: sample, reset: reset}
+}
+
+// Name implements Counter.
+func (c *FuncCounter) Name() Name { return c.name }
+
+// Info implements Counter.
+func (c *FuncCounter) Info() Info { return c.info }
+
+// Value implements Counter.
+func (c *FuncCounter) Value(reset bool) Value {
+	raw := c.sample()
+	if reset && c.reset != nil {
+		c.reset()
+	}
+	return Value{Name: c.name.String(), Raw: raw, Scaling: c.scaling, Time: now(), Status: StatusValid}
+}
+
+// Reset implements Counter.
+func (c *FuncCounter) Reset() {
+	if c.reset != nil {
+		c.reset()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Average counter: accumulates (sum, count) pairs and reports sum/count.
+
+// AverageCounter reports the mean of accumulated samples, like HPX's
+// /threads/time/average. The producer calls Record for every event; the
+// consumer reads the mean. Value(reset=true) atomically snapshots and
+// clears the accumulation.
+type AverageCounter struct {
+	name Name
+	info Info
+
+	mu    sync.Mutex
+	sum   int64
+	count int64
+}
+
+// NewAverageCounter creates an averaging counter.
+func NewAverageCounter(name Name, info Info) *AverageCounter {
+	return &AverageCounter{name: name, info: info}
+}
+
+// Record accumulates one sample.
+func (c *AverageCounter) Record(v int64) {
+	c.mu.Lock()
+	c.sum += v
+	c.count++
+	c.mu.Unlock()
+}
+
+// RecordN accumulates a pre-aggregated batch of n samples summing to sum.
+func (c *AverageCounter) RecordN(sum, n int64) {
+	c.mu.Lock()
+	c.sum += sum
+	c.count += n
+	c.mu.Unlock()
+}
+
+// Name implements Counter.
+func (c *AverageCounter) Name() Name { return c.name }
+
+// Info implements Counter.
+func (c *AverageCounter) Info() Info { return c.info }
+
+// Value implements Counter. The returned Value carries the sum in Raw and
+// the sample count in both Scaling and Count, so Float64 yields the mean
+// while consumers needing the total can use Raw directly.
+func (c *AverageCounter) Value(reset bool) Value {
+	c.mu.Lock()
+	sum, count := c.sum, c.count
+	if reset {
+		c.sum, c.count = 0, 0
+	}
+	c.mu.Unlock()
+	scaling := count
+	if scaling == 0 {
+		scaling = 1
+	}
+	return Value{Name: c.name.String(), Raw: sum, Scaling: scaling, Count: count, Time: now(), Status: StatusValid}
+}
+
+// Reset implements Counter.
+func (c *AverageCounter) Reset() {
+	c.mu.Lock()
+	c.sum, c.count = 0, 0
+	c.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Elapsed-time counter.
+
+// ElapsedTimeCounter reports nanoseconds since creation or since the last
+// reset — HPX's /runtime/uptime.
+type ElapsedTimeCounter struct {
+	name  Name
+	info  Info
+	mu    sync.Mutex
+	start time.Time
+}
+
+// NewElapsedTimeCounter creates an elapsed-time counter starting now.
+func NewElapsedTimeCounter(name Name, info Info) *ElapsedTimeCounter {
+	return &ElapsedTimeCounter{name: name, info: info, start: now()}
+}
+
+// Name implements Counter.
+func (c *ElapsedTimeCounter) Name() Name { return c.name }
+
+// Info implements Counter.
+func (c *ElapsedTimeCounter) Info() Info { return c.info }
+
+// Value implements Counter.
+func (c *ElapsedTimeCounter) Value(reset bool) Value {
+	t := now()
+	c.mu.Lock()
+	elapsed := t.Sub(c.start).Nanoseconds()
+	if reset {
+		c.start = t
+	}
+	c.mu.Unlock()
+	return Value{Name: c.name.String(), Raw: elapsed, Time: t, Status: StatusValid}
+}
+
+// Reset implements Counter.
+func (c *ElapsedTimeCounter) Reset() {
+	c.mu.Lock()
+	c.start = now()
+	c.mu.Unlock()
+}

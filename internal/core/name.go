@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Instance is one element of the instance path inside the braces of a full
+// counter name, e.g. "locality#0" or "worker-thread#3" or "total".
+type Instance struct {
+	// Name is the instance name, e.g. "locality" or "total".
+	Name string
+	// Index is the instance index following '#'. Valid only if HasIndex.
+	Index int64
+	// HasIndex reports whether an explicit '#index' was present.
+	HasIndex bool
+	// Wildcard reports that the index was '*' (all instances).
+	Wildcard bool
+}
+
+// String formats the instance element in counter-name syntax.
+func (i Instance) String() string {
+	switch {
+	case i.Wildcard:
+		return i.Name + "#*"
+	case i.HasIndex:
+		return i.Name + "#" + strconv.FormatInt(i.Index, 10)
+	default:
+		return i.Name
+	}
+}
+
+// Name is a parsed counter name.
+//
+// A counter *type* name has no instance part: /threads/time/average.
+// A *full* (instance) name carries the instance path in braces:
+// /threads{locality#0/total}/time/average.
+//
+// Meta counters (statistics, arithmetics) embed one or more complete
+// counter names: the statistics family places the base counter name inside
+// the braces (/statistics{/threads{locality#0/total}/count/cumulative}/average@100),
+// while the arithmetics family lists operand counters after '@'.
+type Name struct {
+	// Object is the top-level object, e.g. "threads", "agas", "papi".
+	Object string
+	// Instances is the instance path, outermost first. Empty for a pure
+	// counter-type name.
+	Instances []Instance
+	// BaseCounter holds the embedded full counter name for meta counters
+	// whose instance part is itself a counter name (statistics family).
+	// When set, Instances is empty.
+	BaseCounter string
+	// Counter is the counter path below the object, e.g. "time/average".
+	Counter string
+	// Parameters is the text after '@' (may contain commas and full
+	// counter names for arithmetic counters). Empty if absent.
+	Parameters string
+}
+
+// IsFull reports whether the name identifies a concrete counter instance
+// (it has an instance path or an embedded base counter).
+func (n Name) IsFull() bool { return len(n.Instances) > 0 || n.BaseCounter != "" }
+
+// TypeName returns the counter-type portion of the name:
+// "/object/counterpath" with instance part and parameters removed.
+func (n Name) TypeName() string {
+	return "/" + n.Object + "/" + n.Counter
+}
+
+// String formats the name back into counter-name syntax. Parsing the
+// result yields an identical Name (round-trip property, tested with
+// testing/quick).
+func (n Name) String() string {
+	var b strings.Builder
+	b.WriteByte('/')
+	b.WriteString(n.Object)
+	if n.BaseCounter != "" {
+		b.WriteByte('{')
+		b.WriteString(n.BaseCounter)
+		b.WriteByte('}')
+	} else if len(n.Instances) > 0 {
+		b.WriteByte('{')
+		for i, inst := range n.Instances {
+			if i > 0 {
+				b.WriteByte('/')
+			}
+			b.WriteString(inst.String())
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('/')
+	b.WriteString(n.Counter)
+	if n.Parameters != "" {
+		b.WriteByte('@')
+		b.WriteString(n.Parameters)
+	}
+	return b.String()
+}
+
+// WithInstances returns a copy of n carrying the given instance path.
+func (n Name) WithInstances(insts ...Instance) Name {
+	c := n
+	c.Instances = insts
+	c.BaseCounter = ""
+	return c
+}
+
+// LocalityInstance builds the conventional two-level instance path
+// {locality#loc/name#idx}; pass idx < 0 for an unindexed second element
+// (e.g. "total").
+func LocalityInstance(loc int64, name string, idx int64) []Instance {
+	second := Instance{Name: name}
+	if idx >= 0 {
+		second.Index = idx
+		second.HasIndex = true
+	}
+	return []Instance{{Name: "locality", Index: loc, HasIndex: true}, second}
+}
+
+// ParseName parses a counter name in HPX syntax. It accepts both
+// counter-type names and full instance names, including nested counter
+// names inside the braces (statistics counters) and '*' instance
+// wildcards.
+func ParseName(s string) (Name, error) {
+	var n Name
+	if s == "" || s[0] != '/' {
+		return n, fmt.Errorf("core: counter name %q must start with '/'", s)
+	}
+	rest := s[1:]
+
+	// Object: up to '{' or '/'.
+	end := strings.IndexAny(rest, "{/")
+	if end <= 0 {
+		return n, fmt.Errorf("core: counter name %q lacks an object segment", s)
+	}
+	n.Object = rest[:end]
+	rest = rest[end:]
+
+	if rest[0] == '{' {
+		body, tail, err := matchBrace(rest)
+		if err != nil {
+			return n, fmt.Errorf("core: counter name %q: %w", s, err)
+		}
+		if strings.HasPrefix(body, "/") {
+			// Embedded full counter name (statistics family). Validate it.
+			if _, err := ParseName(body); err != nil {
+				return n, fmt.Errorf("core: embedded counter in %q: %w", s, err)
+			}
+			n.BaseCounter = body
+		} else {
+			insts, err := parseInstancePath(body)
+			if err != nil {
+				return n, fmt.Errorf("core: counter name %q: %w", s, err)
+			}
+			n.Instances = insts
+		}
+		rest = tail
+	}
+
+	if len(rest) == 0 || rest[0] != '/' {
+		return n, fmt.Errorf("core: counter name %q lacks a counter path", s)
+	}
+	rest = rest[1:]
+	if at := strings.IndexByte(rest, '@'); at >= 0 {
+		n.Counter = rest[:at]
+		n.Parameters = rest[at+1:]
+	} else {
+		n.Counter = rest
+	}
+	if n.Counter == "" {
+		return n, fmt.Errorf("core: counter name %q has an empty counter path", s)
+	}
+	for _, seg := range strings.Split(n.Counter, "/") {
+		if seg == "" {
+			return n, fmt.Errorf("core: counter name %q has an empty counter path segment", s)
+		}
+	}
+	return n, nil
+}
+
+// matchBrace consumes a balanced {...} group at the start of s and returns
+// the body and the remaining tail.
+func matchBrace(s string) (body, tail string, err error) {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return s[1:i], s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unbalanced '{' in instance specification")
+}
+
+func parseInstancePath(body string) ([]Instance, error) {
+	if body == "" {
+		return nil, fmt.Errorf("empty instance specification")
+	}
+	parts := strings.Split(body, "/")
+	insts := make([]Instance, 0, len(parts))
+	for _, p := range parts {
+		inst, err := parseInstance(p)
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, inst)
+	}
+	return insts, nil
+}
+
+func parseInstance(p string) (Instance, error) {
+	var inst Instance
+	hash := strings.IndexByte(p, '#')
+	if hash < 0 {
+		if p == "" {
+			return inst, fmt.Errorf("empty instance element")
+		}
+		inst.Name = p
+		return inst, nil
+	}
+	inst.Name = p[:hash]
+	idx := p[hash+1:]
+	if inst.Name == "" {
+		return inst, fmt.Errorf("instance element %q has an empty name", p)
+	}
+	if idx == "*" {
+		inst.Wildcard = true
+		inst.HasIndex = true
+		return inst, nil
+	}
+	v, err := strconv.ParseInt(idx, 10, 64)
+	if err != nil || v < 0 {
+		return inst, fmt.Errorf("instance element %q has an invalid index", p)
+	}
+	inst.Index = v
+	inst.HasIndex = true
+	return inst, nil
+}
+
+// MatchPattern reports whether the full counter name matches the pattern.
+// The pattern may use '*' as a whole instance index ("worker-thread#*"),
+// as a whole instance element, as a whole counter-path segment
+// ("/threads/count/*"), or as a whole object. Matching is structural, not
+// textual, so equivalent spellings compare equal.
+func MatchPattern(pattern, name Name) bool {
+	if pattern.Object != "*" && pattern.Object != name.Object {
+		return false
+	}
+	if !matchCounterPath(pattern.Counter, name.Counter) {
+		return false
+	}
+	if pattern.BaseCounter != "" {
+		return pattern.BaseCounter == name.BaseCounter
+	}
+	if len(pattern.Instances) == 0 {
+		// A type-only pattern matches any instance of the type.
+		return true
+	}
+	if len(pattern.Instances) != len(name.Instances) {
+		return false
+	}
+	for i, pi := range pattern.Instances {
+		ni := name.Instances[i]
+		if pi.Name != "*" && pi.Name != ni.Name {
+			return false
+		}
+		if pi.Wildcard || pi.Name == "*" {
+			continue
+		}
+		if pi.HasIndex != ni.HasIndex || (pi.HasIndex && pi.Index != ni.Index) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchCounterPath(pattern, path string) bool {
+	if pattern == "*" {
+		return true
+	}
+	ps := strings.Split(pattern, "/")
+	ns := strings.Split(path, "/")
+	if len(ps) != len(ns) {
+		return false
+	}
+	for i := range ps {
+		if ps[i] != "*" && ps[i] != ns[i] {
+			return false
+		}
+	}
+	return true
+}

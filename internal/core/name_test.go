@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNameTypeOnly(t *testing.T) {
+	n, err := ParseName("/threads/time/average")
+	if err != nil {
+		t.Fatalf("ParseName: %v", err)
+	}
+	if n.Object != "threads" || n.Counter != "time/average" {
+		t.Fatalf("got %+v", n)
+	}
+	if n.IsFull() {
+		t.Fatal("type-only name reported as full")
+	}
+	if got := n.TypeName(); got != "/threads/time/average" {
+		t.Fatalf("TypeName = %q", got)
+	}
+}
+
+func TestParseNameFull(t *testing.T) {
+	n, err := ParseName("/threads{locality#0/worker-thread#3}/count/cumulative")
+	if err != nil {
+		t.Fatalf("ParseName: %v", err)
+	}
+	want := []Instance{
+		{Name: "locality", Index: 0, HasIndex: true},
+		{Name: "worker-thread", Index: 3, HasIndex: true},
+	}
+	if !reflect.DeepEqual(n.Instances, want) {
+		t.Fatalf("instances = %+v", n.Instances)
+	}
+	if !n.IsFull() {
+		t.Fatal("full name not reported as full")
+	}
+}
+
+func TestParseNameTotalInstance(t *testing.T) {
+	n, err := ParseName("/threads{locality#0/total}/time/average")
+	if err != nil {
+		t.Fatalf("ParseName: %v", err)
+	}
+	if len(n.Instances) != 2 || n.Instances[1].Name != "total" || n.Instances[1].HasIndex {
+		t.Fatalf("instances = %+v", n.Instances)
+	}
+}
+
+func TestParseNameWildcardIndex(t *testing.T) {
+	n, err := ParseName("/threads{locality#0/worker-thread#*}/time/average")
+	if err != nil {
+		t.Fatalf("ParseName: %v", err)
+	}
+	if !n.Instances[1].Wildcard {
+		t.Fatalf("wildcard not detected: %+v", n.Instances)
+	}
+}
+
+func TestParseNameParameters(t *testing.T) {
+	n, err := ParseName("/papi{locality#0/total}/OFFCORE_REQUESTS@ALL_DATA_RD")
+	if err != nil {
+		t.Fatalf("ParseName: %v", err)
+	}
+	if n.Parameters != "ALL_DATA_RD" {
+		t.Fatalf("parameters = %q", n.Parameters)
+	}
+}
+
+func TestParseNameEmbeddedBase(t *testing.T) {
+	s := "/statistics{/threads{locality#0/total}/time/average}/rolling_average@100,20"
+	n, err := ParseName(s)
+	if err != nil {
+		t.Fatalf("ParseName: %v", err)
+	}
+	if n.BaseCounter != "/threads{locality#0/total}/time/average" {
+		t.Fatalf("base = %q", n.BaseCounter)
+	}
+	if n.Counter != "rolling_average" || n.Parameters != "100,20" {
+		t.Fatalf("got %+v", n)
+	}
+	if n.String() != s {
+		t.Fatalf("round-trip: %q", n.String())
+	}
+}
+
+func TestParseNameErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"threads/time",
+		"/",
+		"//time",
+		"/threads",
+		"/threads{locality#0/total}",
+		"/threads{locality#0/total/time/average", // unbalanced
+		"/threads{}/time/average",
+		"/threads{locality#x}/time/average",
+		"/threads{locality#-1}/time/average",
+		"/threads{#3}/time/average",
+		"/threads{locality#0}/",
+		"/threads{locality#0}//average",
+		"/statistics{/bad{{}/average",
+	}
+	for _, s := range bad {
+		if _, err := ParseName(s); err == nil {
+			t.Errorf("ParseName(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestNameStringRoundTripQuick(t *testing.T) {
+	// Property: formatting a randomly generated valid Name and re-parsing
+	// it yields the identical structure.
+	gen := func(r *rand.Rand) Name {
+		objects := []string{"threads", "agas", "parcels", "runtime", "papi"}
+		counters := []string{"count/cumulative", "time/average", "idle-rate", "a/b/c"}
+		n := Name{
+			Object:  objects[r.Intn(len(objects))],
+			Counter: counters[r.Intn(len(counters))],
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			inst := Instance{Name: []string{"locality", "total", "worker-thread", "pool"}[r.Intn(4)]}
+			switch r.Intn(3) {
+			case 0:
+				inst.HasIndex, inst.Index = true, int64(r.Intn(100))
+			case 1:
+				inst.HasIndex, inst.Wildcard = true, true
+			}
+			n.Instances = append(n.Instances, inst)
+		}
+		if len(n.Instances) == 0 && r.Intn(2) == 0 {
+			n.BaseCounter = "/threads{locality#0/total}/time/average"
+		}
+		if r.Intn(2) == 0 {
+			n.Parameters = "100,20"
+		}
+		return n
+	}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(gen(r))
+		},
+	}
+	prop := func(n Name) bool {
+		parsed, err := ParseName(n.String())
+		if err != nil {
+			t.Logf("parse error for %q: %v", n.String(), err)
+			return false
+		}
+		return reflect.DeepEqual(parsed, n)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	mk := func(s string) Name {
+		n, err := ParseName(s)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", s, err)
+		}
+		return n
+	}
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"/threads/time/average", "/threads{locality#0/total}/time/average", true},
+		{"/threads{locality#0/total}/time/average", "/threads{locality#0/total}/time/average", true},
+		{"/threads{locality#0/total}/time/average", "/threads{locality#1/total}/time/average", false},
+		{"/threads{locality#*/total}/time/average", "/threads{locality#7/total}/time/average", true},
+		{"/threads{locality#0/worker-thread#*}/time/average", "/threads{locality#0/worker-thread#5}/time/average", true},
+		{"/threads{locality#0/worker-thread#*}/time/average", "/threads{locality#0/total}/time/average", false},
+		{"/threads/count/*", "/threads{locality#0/total}/count/cumulative", true},
+		{"/threads/count/*", "/threads{locality#0/total}/time/average", false},
+		{"/threads/time/average", "/agas{locality#0/total}/time/average", false},
+		{"/threads{*/total}/time/average", "/threads{locality#0/total}/time/average", true},
+	}
+	for _, c := range cases {
+		if got := MatchPattern(mk(c.pattern), mk(c.name)); got != c.want {
+			t.Errorf("MatchPattern(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestLocalityInstance(t *testing.T) {
+	n := Name{Object: "threads", Counter: "time/average"}.
+		WithInstances(LocalityInstance(0, "worker-thread", 2)...)
+	if got := n.String(); got != "/threads{locality#0/worker-thread#2}/time/average" {
+		t.Fatalf("got %q", got)
+	}
+	n2 := Name{Object: "threads", Counter: "time/average"}.
+		WithInstances(LocalityInstance(1, "total", -1)...)
+	if got := n2.String(); got != "/threads{locality#1/total}/time/average" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSplitCounterList(t *testing.T) {
+	in := "/threads{locality#0/total}/time/average,/statistics{/x{a#0/b}/c}/average@10,20"
+	// The second operand contains a comma inside its parameters — the
+	// splitter only respects braces, so the "20" splits off; this is the
+	// documented HPX behaviour too (parameters of operands must not
+	// contain top-level commas). Verify brace-protected commas survive.
+	got := splitCounterList("/a{x#0/y}/b,/statistics{/c{d#1/e},weird}/f")
+	if len(got) != 2 {
+		t.Fatalf("got %d parts: %v", len(got), got)
+	}
+	_ = in
+	if got[1] != "/statistics{/c{d#1/e},weird}/f" {
+		t.Fatalf("brace-protected comma split: %v", got)
+	}
+}
+
+// TestParseNameNeverPanics feeds random byte soup to the parser: it must
+// return an error or a Name, never panic, and any accepted name must
+// round-trip through String.
+func TestParseNameNeverPanics(t *testing.T) {
+	prng := rand.New(rand.NewSource(42))
+	alphabet := []byte("/{}#@*abz019-_,")
+	for i := 0; i < 5000; i++ {
+		n := prng.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[prng.Intn(len(alphabet))]
+		}
+		s := string(b)
+		parsed, err := ParseName(s)
+		if err != nil {
+			continue
+		}
+		re, err := ParseName(parsed.String())
+		if err != nil {
+			t.Fatalf("accepted %q but its String %q does not re-parse: %v", s, parsed.String(), err)
+		}
+		if !reflect.DeepEqual(re, parsed) {
+			t.Fatalf("round-trip drift for %q: %+v vs %+v", s, parsed, re)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory creates a counter instance for a parsed full name. The registry
+// passes itself so meta counters can resolve their base counters.
+type Factory func(name Name, r *Registry) (Counter, error)
+
+// Discoverer enumerates the full names of the instances a counter type
+// currently supports, used to expand wildcard queries.
+type Discoverer func(r *Registry) []Name
+
+type typeEntry struct {
+	info     Info
+	factory  Factory
+	discover Discoverer
+}
+
+// Registry holds the counter types and live counter instances of one
+// locality. It is safe for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	types     map[string]*typeEntry
+	instances map[string]Counter
+	active    map[string]Counter
+}
+
+// NewRegistry creates an empty registry with the meta counter families
+// (/statistics/..., /arithmetics/...) pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{
+		types:     make(map[string]*typeEntry),
+		instances: make(map[string]Counter),
+		active:    make(map[string]Counter),
+	}
+	registerStatistics(r)
+	registerArithmetics(r)
+	return r
+}
+
+// RegisterType registers a counter type. Instances are created lazily by
+// factory when a full name below this type is first queried. discover may
+// be nil if the type cannot enumerate its instances.
+func (r *Registry) RegisterType(info Info, factory Factory, discover Discoverer) error {
+	n, err := ParseName(info.TypeName)
+	if err != nil {
+		return err
+	}
+	if n.IsFull() {
+		return fmt.Errorf("core: type name %q must not carry an instance", info.TypeName)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := n.TypeName()
+	if _, dup := r.types[key]; dup {
+		return fmt.Errorf("core: counter type %q already registered", key)
+	}
+	r.types[key] = &typeEntry{info: info, factory: factory, discover: discover}
+	return nil
+}
+
+// MustRegisterType is RegisterType that panics on error, for package
+// initialization of fixed counter sets.
+func (r *Registry) MustRegisterType(info Info, factory Factory, discover Discoverer) {
+	if err := r.RegisterType(info, factory, discover); err != nil {
+		panic(err)
+	}
+}
+
+// Register adds a pre-built counter instance (typically one owned by the
+// runtime that feeds it directly). The instance's type is implicitly
+// registered if unknown.
+func (r *Registry) Register(c Counter) error {
+	name := c.Name()
+	if !name.IsFull() {
+		return fmt.Errorf("core: instance name %q must carry an instance part", name)
+	}
+	key := name.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.instances[key]; dup {
+		return fmt.Errorf("core: counter instance %q already registered", key)
+	}
+	r.instances[key] = c
+	tn := name.TypeName()
+	if _, ok := r.types[tn]; !ok {
+		info := c.Info()
+		if info.TypeName == "" {
+			info.TypeName = tn
+		}
+		r.types[tn] = &typeEntry{info: info}
+	}
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (r *Registry) MustRegister(c Counter) {
+	if err := r.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes a counter instance (and drops it from the active set).
+func (r *Registry) Remove(fullName string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.active[fullName]; ok {
+		if s, ok := c.(Startable); ok {
+			s.Stop()
+		}
+		delete(r.active, fullName)
+	}
+	delete(r.instances, fullName)
+}
+
+// Get returns the counter instance for a full name, creating it through
+// the registered type factory if it does not exist yet.
+func (r *Registry) Get(fullName string) (Counter, error) {
+	n, err := ParseName(fullName)
+	if err != nil {
+		return nil, err
+	}
+	return r.get(n)
+}
+
+func (r *Registry) get(n Name) (Counter, error) {
+	key := n.String()
+	r.mu.RLock()
+	c, ok := r.instances[key]
+	entry := r.types[n.TypeName()]
+	r.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	// Parameterized names identify concrete counters even without an
+	// instance part (the arithmetics family: /arithmetics/add@c1,c2).
+	if !n.IsFull() && n.Parameters == "" {
+		return nil, fmt.Errorf("core: %q names a counter type, not an instance", key)
+	}
+	if entry == nil || entry.factory == nil {
+		return nil, fmt.Errorf("core: unknown counter %q", key)
+	}
+	c, err := entry.factory(n, r)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.instances[key]; ok { // lost a race; keep the first
+		return existing, nil
+	}
+	r.instances[key] = c
+	return c, nil
+}
+
+// Evaluate reads one counter by full name.
+func (r *Registry) Evaluate(fullName string, reset bool) (Value, error) {
+	c, err := r.Get(fullName)
+	if err != nil {
+		return Value{Name: fullName, Status: StatusCounterUnknown}, err
+	}
+	return c.Value(reset), nil
+}
+
+// Types returns the metadata of all registered counter types, sorted by
+// type name, as shown by --list-counters.
+func (r *Registry) Types() []Info {
+	r.mu.RLock()
+	infos := make([]Info, 0, len(r.types))
+	for _, e := range r.types {
+		infos = append(infos, e.info)
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].TypeName < infos[j].TypeName })
+	return infos
+}
+
+// Discover expands a (possibly wildcarded) counter name into the full
+// names of all matching instances: registered instances plus the instances
+// enumerated by matching types' Discoverers. The result is sorted and
+// deduplicated.
+func (r *Registry) Discover(pattern string) ([]Name, error) {
+	pn, err := ParseName(pattern)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]Name)
+
+	r.mu.RLock()
+	for key, c := range r.instances {
+		if MatchPattern(pn, c.Name()) {
+			seen[key] = c.Name()
+		}
+	}
+	var discoverers []Discoverer
+	for tn, e := range r.types {
+		if e.discover == nil {
+			continue
+		}
+		t, err := ParseName(tn)
+		if err != nil {
+			continue
+		}
+		if pn.Object != "*" && pn.Object != t.Object {
+			continue
+		}
+		if !matchCounterPath(pn.Counter, t.Counter) {
+			continue
+		}
+		discoverers = append(discoverers, e.discover)
+	}
+	r.mu.RUnlock()
+
+	for _, d := range discoverers {
+		for _, n := range d(r) {
+			if MatchPattern(pn, n) {
+				seen[n.String()] = n
+			}
+		}
+	}
+
+	names := make([]Name, 0, len(seen))
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		names = append(names, seen[k])
+	}
+	return names, nil
+}
+
+// ---------------------------------------------------------------------------
+// Active set: the HPX evaluate_active_counters / reset_active_counters API.
+
+// AddActive resolves the (possibly wildcarded) name and adds all matching
+// counters to the active set, starting any Startable ones. It returns the
+// full names added.
+func (r *Registry) AddActive(pattern string) ([]string, error) {
+	names, err := r.Discover(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		// Not discoverable: try to instantiate the exact name directly.
+		n, perr := ParseName(pattern)
+		if perr == nil && n.IsFull() && !hasWildcard(n) {
+			names = []Name{n}
+		} else {
+			return nil, fmt.Errorf("core: no counters match %q", pattern)
+		}
+	}
+	added := make([]string, 0, len(names))
+	for _, n := range names {
+		c, err := r.get(n)
+		if err != nil {
+			return added, err
+		}
+		key := n.String()
+		r.mu.Lock()
+		_, already := r.active[key]
+		if !already {
+			r.active[key] = c
+		}
+		r.mu.Unlock()
+		if !already {
+			if s, ok := c.(Startable); ok {
+				s.Start()
+			}
+			added = append(added, key)
+		}
+	}
+	return added, nil
+}
+
+// RemoveActive removes a counter from the active set, stopping it if
+// Startable.
+func (r *Registry) RemoveActive(fullName string) {
+	r.mu.Lock()
+	c, ok := r.active[fullName]
+	delete(r.active, fullName)
+	r.mu.Unlock()
+	if ok {
+		if s, ok := c.(Startable); ok {
+			s.Stop()
+		}
+	}
+}
+
+// EvaluateActive evaluates every counter in the active set, optionally
+// resetting each as part of the same read. Results are ordered by name.
+func (r *Registry) EvaluateActive(reset bool) []Value {
+	r.mu.RLock()
+	counters := make([]Counter, 0, len(r.active))
+	for _, c := range r.active {
+		counters = append(counters, c)
+	}
+	r.mu.RUnlock()
+	sort.Slice(counters, func(i, j int) bool {
+		return counters[i].Name().String() < counters[j].Name().String()
+	})
+	values := make([]Value, len(counters))
+	for i, c := range counters {
+		values[i] = c.Value(reset)
+	}
+	return values
+}
+
+// ResetActive resets every counter in the active set without reading it.
+func (r *Registry) ResetActive() {
+	r.mu.RLock()
+	counters := make([]Counter, 0, len(r.active))
+	for _, c := range r.active {
+		counters = append(counters, c)
+	}
+	r.mu.RUnlock()
+	for _, c := range counters {
+		c.Reset()
+	}
+}
+
+// Active returns the full names in the active set, sorted.
+func (r *Registry) Active() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.active))
+	for k := range r.active {
+		names = append(names, k)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// StopActive stops all Startable counters in the active set and clears it.
+func (r *Registry) StopActive() {
+	r.mu.Lock()
+	counters := make([]Counter, 0, len(r.active))
+	for _, c := range r.active {
+		counters = append(counters, c)
+	}
+	r.active = make(map[string]Counter)
+	r.mu.Unlock()
+	for _, c := range counters {
+		if s, ok := c.(Startable); ok {
+			s.Stop()
+		}
+	}
+}
+
+func hasWildcard(n Name) bool {
+	if n.Object == "*" || strings.Contains("/"+n.Counter+"/", "/*/") || strings.HasSuffix(n.Counter, "/*") || n.Counter == "*" {
+		return true
+	}
+	for _, i := range n.Instances {
+		if i.Wildcard || i.Name == "*" {
+			return true
+		}
+	}
+	return false
+}

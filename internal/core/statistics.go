@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// statisticsKinds lists the aggregation operations supported by the
+// /statistics counter family.
+var statisticsKinds = []string{
+	"average", "rolling_average", "max", "rolling_max", "min", "rolling_min",
+	"stddev", "rolling_stddev", "median", "rate",
+}
+
+// statScale is the fixed-point scaling used for fractional statistics.
+const statScale = 1000
+
+func registerStatistics(r *Registry) {
+	for _, kind := range statisticsKinds {
+		kind := kind
+		info := Info{
+			TypeName: "/statistics/" + kind,
+			HelpText: "returns the " + strings.ReplaceAll(kind, "_", " ") +
+				" of the values of its base counter, sampled at the given interval " +
+				"(/statistics{<base-counter>}/" + kind + "@interval-ms[,window])",
+			Unit:    UnitNone,
+			Version: "1.0",
+		}
+		r.MustRegisterType(info, func(n Name, reg *Registry) (Counter, error) {
+			return newStatisticsCounter(n, kind, reg)
+		}, nil)
+	}
+}
+
+// StatisticsCounter aggregates periodic samples of a base counter. It
+// implements Startable: while active, a background goroutine samples the
+// base counter at the configured interval. Sample may also be called
+// directly, which the tests and the simulator (virtual time) use.
+type StatisticsCounter struct {
+	name     Name
+	info     Info
+	kind     string
+	base     Counter
+	interval time.Duration
+	window   int // rolling window size; 0 = unbounded
+
+	mu      sync.Mutex
+	samples []float64
+	last    float64 // previous sample, for "rate"
+	lastT   time.Time
+	haveOne bool
+	stop    chan struct{}
+}
+
+func newStatisticsCounter(n Name, kind string, r *Registry) (*StatisticsCounter, error) {
+	if n.BaseCounter == "" {
+		return nil, fmt.Errorf("core: statistics counter %q needs a base counter in braces", n)
+	}
+	base, err := r.Get(n.BaseCounter)
+	if err != nil {
+		return nil, fmt.Errorf("core: statistics counter %q: base: %w", n, err)
+	}
+	interval := time.Second
+	window := 10
+	if n.Parameters != "" {
+		parts := strings.Split(n.Parameters, ",")
+		ms, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil || ms <= 0 {
+			return nil, fmt.Errorf("core: statistics counter %q: bad interval %q", n, parts[0])
+		}
+		interval = time.Duration(ms) * time.Millisecond
+		if len(parts) > 1 {
+			w, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("core: statistics counter %q: bad window %q", n, parts[1])
+			}
+			window = w
+		}
+	}
+	if !strings.HasPrefix(kind, "rolling_") {
+		window = 0
+	}
+	return &StatisticsCounter{
+		name:     n,
+		info:     Info{TypeName: n.TypeName(), HelpText: "statistics/" + kind + " of " + n.BaseCounter, Unit: base.Info().Unit},
+		kind:     kind,
+		base:     base,
+		interval: interval,
+		window:   window,
+	}, nil
+}
+
+// Name implements Counter.
+func (c *StatisticsCounter) Name() Name { return c.name }
+
+// Info implements Counter.
+func (c *StatisticsCounter) Info() Info { return c.info }
+
+// Sample reads the base counter once and folds the observation into the
+// aggregation state.
+func (c *StatisticsCounter) Sample() {
+	v := c.base.Value(false)
+	if !v.Valid() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := v.Float64()
+	if c.kind == "rate" {
+		if c.haveOne {
+			dt := v.Time.Sub(c.lastT).Seconds()
+			if dt > 0 {
+				c.samples = append(c.samples, (f-c.last)/dt)
+			}
+		}
+		c.last, c.lastT, c.haveOne = f, v.Time, true
+	} else {
+		c.samples = append(c.samples, f)
+	}
+	if c.window > 0 && len(c.samples) > c.window {
+		c.samples = c.samples[len(c.samples)-c.window:]
+	}
+}
+
+// Start implements Startable: begins periodic sampling.
+func (c *StatisticsCounter) Start() {
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.stop = stop
+	c.mu.Unlock()
+	go func() {
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.Sample()
+			}
+		}
+	}()
+}
+
+// Stop implements Startable: ends periodic sampling.
+func (c *StatisticsCounter) Stop() {
+	c.mu.Lock()
+	if c.stop != nil {
+		close(c.stop)
+		c.stop = nil
+	}
+	c.mu.Unlock()
+}
+
+// Value implements Counter. Raw carries the statistic in fixed-point
+// (scaling statScale); Count carries the number of samples aggregated.
+func (c *StatisticsCounter) Value(reset bool) Value {
+	c.mu.Lock()
+	samples := append([]float64(nil), c.samples...)
+	if reset {
+		c.samples = c.samples[:0]
+	}
+	c.mu.Unlock()
+
+	status := StatusValid
+	var stat float64
+	if len(samples) == 0 {
+		status = StatusInvalidData
+	} else {
+		switch c.kind {
+		case "average", "rolling_average", "rate":
+			stat = mean(samples)
+		case "max", "rolling_max":
+			stat = samples[0]
+			for _, s := range samples[1:] {
+				stat = math.Max(stat, s)
+			}
+		case "min", "rolling_min":
+			stat = samples[0]
+			for _, s := range samples[1:] {
+				stat = math.Min(stat, s)
+			}
+		case "stddev", "rolling_stddev":
+			stat = stddev(samples)
+		case "median":
+			stat = median(samples)
+		}
+	}
+	return Value{
+		Name:    c.name.String(),
+		Raw:     int64(math.Round(stat * statScale)),
+		Scaling: statScale,
+		Count:   int64(len(samples)),
+		Time:    now(),
+		Status:  status,
+	}
+}
+
+// Reset implements Counter.
+func (c *StatisticsCounter) Reset() {
+	c.mu.Lock()
+	c.samples = c.samples[:0]
+	c.haveOne = false
+	c.mu.Unlock()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

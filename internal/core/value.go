@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Status describes the outcome of evaluating a counter, mirroring the HPX
+// counter status codes.
+type Status int
+
+const (
+	// StatusValid means the value is meaningful.
+	StatusValid Status = iota
+	// StatusNewData means the value is meaningful and was refreshed since
+	// the previous query.
+	StatusNewData
+	// StatusInvalidData means the counter exists but could not produce a
+	// value (e.g. the underlying event source is gone).
+	StatusInvalidData
+	// StatusCounterUnknown means no such counter instance exists.
+	StatusCounterUnknown
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusValid:
+		return "valid"
+	case StatusNewData:
+		return "new-data"
+	case StatusInvalidData:
+		return "invalid-data"
+	case StatusCounterUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Value is the result of one counter evaluation. It matches the HPX wire
+// format: a raw integer payload with an optional scaling divisor, so that
+// values survive serialization (see package parcel) without floating-point
+// round-trips.
+type Value struct {
+	// Name is the full instance name the value was read from.
+	Name string `json:"name"`
+	// Raw is the integer payload.
+	Raw int64 `json:"value"`
+	// Scaling divides Raw to obtain the real value; 0 or 1 mean unscaled.
+	Scaling int64 `json:"scaling,omitempty"`
+	// Inverse indicates the real value is Scaling/Raw instead of
+	// Raw/Scaling.
+	Inverse bool `json:"inverse,omitempty"`
+	// Count is the number of underlying events the value aggregates
+	// (e.g. number of tasks averaged over).
+	Count int64 `json:"count,omitempty"`
+	// Time is when the value was captured.
+	Time time.Time `json:"time"`
+	// Status qualifies the value.
+	Status Status `json:"status"`
+}
+
+// Float64 returns the scaled value as a float.
+func (v Value) Float64() float64 {
+	s := v.Scaling
+	if s == 0 {
+		s = 1
+	}
+	if v.Inverse {
+		if v.Raw == 0 {
+			return 0
+		}
+		return float64(s) / float64(v.Raw)
+	}
+	return float64(v.Raw) / float64(s)
+}
+
+// Int64 returns the scaled value truncated to an integer.
+func (v Value) Int64() int64 { return int64(v.Float64()) }
+
+// Valid reports whether the value may be used.
+func (v Value) Valid() bool { return v.Status == StatusValid || v.Status == StatusNewData }
+
+// Unit labels for counter metadata.
+const (
+	UnitNone         = ""
+	UnitNanoseconds  = "ns"
+	UnitBytes        = "bytes"
+	UnitEvents       = "events"
+	UnitPercent      = "%"
+	UnitBytesPerSec  = "bytes/s"
+	UnitEventsPerSec = "events/s"
+)
+
+// Info describes a counter type: its metadata as reported by discovery.
+type Info struct {
+	// TypeName is the counter-type name, e.g. "/threads/time/average".
+	TypeName string `json:"type_name"`
+	// HelpText is a one-line description shown by --list-counters.
+	HelpText string `json:"help_text"`
+	// Unit is the unit of the scaled value.
+	Unit string `json:"unit,omitempty"`
+	// Version of the counter interface.
+	Version string `json:"version,omitempty"`
+}

@@ -1,0 +1,155 @@
+// Package exttool models the external performance tools of the paper's
+// Table I — TAU and HPCToolkit — applied to the std::async baseline.
+// The paper's point is negative: both tools assume bounded, long-lived
+// OS threads, so the thread-per-task C++ runtime drives them into
+// crashes, timeouts or orders-of-magnitude overheads. The models encode
+// the documented failure mechanisms:
+//
+//   - TAU allocates fixed-size per-thread measurement tables at launch;
+//     the maximum thread count is a compile-time constant, and even at
+//     its 64k maximum the benchmarks crash once more threads appear.
+//     Below the limit, per-thread bookkeeping adds large constant cost.
+//
+//   - HPCToolkit has no thread table limit, but creates measurement
+//     files and unwinds stacks per thread; the per-thread file-system
+//     cost is so large that fine-grained runs exceed any reasonable
+//     time budget or exhaust system resources.
+//
+// Outcomes reproduce Table I's cells: a completion time with an
+// overhead factor, or SegV / Abort / timeout.
+package exttool
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Status is a Table I cell state.
+type Status int
+
+const (
+	// OK means the instrumented run completed.
+	OK Status = iota
+	// SegV means the tool crashed the program.
+	SegV
+	// Abort means the program itself aborted (resource exhaustion).
+	Abort
+	// Timeout means the instrumented run exceeded the time budget.
+	Timeout
+)
+
+// String renders the status as Table I does.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case SegV:
+		return "SegV"
+	case Abort:
+		return "Abort"
+	case Timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Tool is one external profiler model.
+type Tool struct {
+	// Name labels the tool.
+	Name string
+	// MaxThreads is the hard thread-table limit (0 = unlimited). TAU
+	// crashes beyond it.
+	MaxThreads int64
+	// PerThreadNs is bookkeeping cost per thread created (table setup,
+	// file creation, unwind registration).
+	PerThreadNs float64
+	// PerThreadStackBytes is extra memory per live thread; exceeding
+	// MemLimit aborts the run.
+	PerThreadStackBytes int64
+	// MemLimit bounds the tool's memory use (0 = unlimited).
+	MemLimit int64
+	// Timeout bounds the instrumented run.
+	Timeout time.Duration
+}
+
+// TAU returns the TAU model: a 64k thread table (the paper's enlarged
+// configuration; the default of 128 fails immediately), with heavyweight
+// per-thread measurement structures.
+func TAU() Tool {
+	return Tool{
+		Name:                "TAU",
+		MaxThreads:          65536,
+		PerThreadNs:         120_000, // table + event registration per thread
+		PerThreadStackBytes: 512 << 10,
+		MemLimit:            64 << 30,
+		Timeout:             30 * time.Minute,
+	}
+}
+
+// HPCToolkit returns the HPCToolkit model: no thread-table limit, but a
+// measurement file and unwind state per thread.
+func HPCToolkit() Tool {
+	return Tool{
+		Name:                "HPCToolkit",
+		PerThreadNs:         450_000, // file creation + sampling setup per thread
+		PerThreadStackBytes: 256 << 10,
+		MemLimit:            64 << 30,
+		Timeout:             30 * time.Minute,
+	}
+}
+
+// Outcome is one Table I cell.
+type Outcome struct {
+	// Tool names the profiler.
+	Tool string
+	// Status is the cell state.
+	Status Status
+	// TimeNs is the instrumented completion time (valid when Status ==
+	// OK).
+	TimeNs int64
+	// OverheadPct is the overhead over the uninstrumented baseline in
+	// percent (valid when Status == OK).
+	OverheadPct float64
+}
+
+// String renders the outcome as a Table I cell.
+func (o Outcome) String() string {
+	if o.Status != OK {
+		return o.Status.String()
+	}
+	return fmt.Sprintf("%.0f ms (+%.0f%%)", float64(o.TimeNs)/1e6, o.OverheadPct)
+}
+
+// Apply computes the tool's outcome on a baseline execution. The
+// baseline is the std::async simulation result at full concurrency; a
+// failed baseline is reported as Abort regardless of the tool (the
+// paper's n/a rows — the program dies before the tool can).
+func (t Tool) Apply(baseline sim.Result) Outcome {
+	out := Outcome{Tool: t.Name}
+	if baseline.Failed {
+		out.Status = Abort
+		return out
+	}
+	if t.MaxThreads > 0 && baseline.ThreadsLaunched > t.MaxThreads {
+		out.Status = SegV
+		return out
+	}
+	if t.MemLimit > 0 && baseline.PeakLive*t.PerThreadStackBytes > t.MemLimit {
+		out.Status = Abort
+		return out
+	}
+	instrumented := baseline.MakespanNs + int64(t.PerThreadNs*float64(baseline.ThreadsLaunched))
+	if t.Timeout > 0 && instrumented > t.Timeout.Nanoseconds() {
+		out.Status = Timeout
+		return out
+	}
+	out.Status = OK
+	out.TimeNs = instrumented
+	if baseline.MakespanNs > 0 {
+		out.OverheadPct = 100 * float64(instrumented-baseline.MakespanNs) / float64(baseline.MakespanNs)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package exttool
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func okBaseline(tasks int64, makespanNs int64) sim.Result {
+	return sim.Result{Tasks: tasks, ThreadsLaunched: tasks, PeakLive: tasks / 10,
+		MakespanNs: makespanNs}
+}
+
+func TestTAUCrashesBeyondThreadTable(t *testing.T) {
+	tau := TAU()
+	// More threads than the 64k table: SegV, as in Table I's fine rows.
+	out := tau.Apply(okBaseline(300_000, int64(50*time.Second)))
+	if out.Status != SegV {
+		t.Fatalf("status = %v", out.Status)
+	}
+	if !strings.Contains(out.String(), "SegV") {
+		t.Fatalf("cell = %q", out.String())
+	}
+}
+
+func TestTAUOverheadOnCoarse(t *testing.T) {
+	tau := TAU()
+	// Alignment-like: ~5k threads, 1 s baseline.
+	out := tau.Apply(okBaseline(4950, int64(time.Second)))
+	if out.Status != OK {
+		t.Fatalf("status = %v", out.Status)
+	}
+	// 4950 x 120 µs = ~0.6 s of bookkeeping: large overhead.
+	if out.OverheadPct < 30 {
+		t.Fatalf("overhead = %.1f%%, expected substantial", out.OverheadPct)
+	}
+	if !strings.Contains(out.String(), "%") {
+		t.Fatalf("cell = %q", out.String())
+	}
+}
+
+func TestHPCToolkitTimeout(t *testing.T) {
+	hpc := HPCToolkit()
+	// 10M threads x 450 µs = 75 min > the 30 min budget (few of them
+	// live at once, so memory is not the constraint here).
+	base := okBaseline(10_000_000, int64(10*time.Minute))
+	base.PeakLive = 1000
+	out := hpc.Apply(base)
+	if out.Status != Timeout {
+		t.Fatalf("status = %v", out.Status)
+	}
+}
+
+func TestHPCToolkitMemoryAbort(t *testing.T) {
+	hpc := HPCToolkit()
+	base := okBaseline(50_000, int64(time.Second))
+	base.PeakLive = 300_000 // 300k live x 256 KiB > 64 GiB
+	out := hpc.Apply(base)
+	if out.Status != Abort {
+		t.Fatalf("status = %v", out.Status)
+	}
+}
+
+func TestFailedBaselinePropagates(t *testing.T) {
+	failed := sim.Result{Failed: true, FailureReason: "thread ceiling"}
+	for _, tool := range []Tool{TAU(), HPCToolkit()} {
+		if out := tool.Apply(failed); out.Status != Abort {
+			t.Errorf("%s on failed baseline = %v", tool.Name, out.Status)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		OK: "ok", SegV: "SegV", Abort: "Abort", Timeout: "timeout", Status(9): "status(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d) = %q want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestOutcomeTimeAccounting(t *testing.T) {
+	tool := Tool{Name: "x", PerThreadNs: 1000, Timeout: time.Hour}
+	base := okBaseline(1000, 1_000_000)
+	out := tool.Apply(base)
+	if out.Status != OK {
+		t.Fatalf("status = %v", out.Status)
+	}
+	if out.TimeNs != 2_000_000 {
+		t.Fatalf("instrumented time = %d", out.TimeNs)
+	}
+	if out.OverheadPct != 100 {
+		t.Fatalf("overhead = %v", out.OverheadPct)
+	}
+}

@@ -1,0 +1,164 @@
+package inncabs
+
+import "repro/internal/sim"
+
+// Alignment: pairwise global alignment of protein sequences
+// (Needleman-Wunsch with affine gap penalties, as in the original
+// Inncabs/SPEC alignment kernel). Loop-like: one task per sequence pair,
+// no synchronization. Table V: 2748 µs tasks, coarse, both runtimes
+// scale to 20 cores; Table I: 4950 tasks, i.e. all pairs of 100
+// sequences.
+
+const alignAlphabet = 20
+
+// alignmentParams describe one workload size.
+type alignmentParams struct {
+	sequences int
+	length    int
+}
+
+func alignmentSize(s Size) alignmentParams {
+	switch s {
+	case Test:
+		return alignmentParams{sequences: 8, length: 48}
+	case Small:
+		return alignmentParams{sequences: 24, length: 96}
+	case Medium:
+		return alignmentParams{sequences: 60, length: 160}
+	default: // Paper: 100 protein sequences -> 4950 pair tasks
+		return alignmentParams{sequences: 100, length: 256}
+	}
+}
+
+// alignmentInput generates deterministic pseudo-protein sequences and the
+// BLOSUM-like substitution matrix.
+func alignmentInput(p alignmentParams) (seqs [][]byte, score [alignAlphabet][alignAlphabet]int32) {
+	prng := newPRNG(0xA11C)
+	seqs = make([][]byte, p.sequences)
+	for i := range seqs {
+		s := make([]byte, p.length)
+		for j := range s {
+			s[j] = byte(prng.intn(alignAlphabet))
+		}
+		seqs[i] = s
+	}
+	for i := 0; i < alignAlphabet; i++ {
+		for j := 0; j <= i; j++ {
+			v := int32(prng.intn(9)) - 4 // -4..4
+			if i == j {
+				v = int32(prng.intn(5)) + 4 // 4..8 on the diagonal
+			}
+			score[i][j] = v
+			score[j][i] = v
+		}
+	}
+	return seqs, score
+}
+
+// needlemanWunsch computes the global alignment score with affine gaps
+// (Gotoh's algorithm, gap open 10, extend 1) in O(len(a)*len(b)) time and
+// O(len(b)) space. best[j] holds max(M, Ix, Iy) of the previous row at
+// column j; vert[j] holds Ix (gap in b, vertical) of the previous row.
+func needlemanWunsch(a, b []byte, score *[alignAlphabet][alignAlphabet]int32) int32 {
+	const (
+		gapOpen   = 10
+		gapExtend = 1
+		negInf    = int32(-1 << 28)
+	)
+	n := len(b)
+	best := make([]int32, n+1)
+	vert := make([]int32, n+1)
+	best[0] = 0
+	vert[0] = negInf
+	for j := 1; j <= n; j++ {
+		best[j] = -gapOpen - int32(j-1)*gapExtend
+		vert[j] = negInf
+	}
+	for i := 1; i <= len(a); i++ {
+		diag := best[0] // best[i-1][j-1]
+		best[0] = -gapOpen - int32(i-1)*gapExtend
+		horiz := negInf // Iy (gap in a) within the current row
+		for j := 1; j <= n; j++ {
+			vert[j] = max32(best[j]-gapOpen, vert[j]-gapExtend)
+			horiz = max32(best[j-1]-gapOpen, horiz-gapExtend)
+			match := diag + score[a[i-1]][b[j-1]]
+			diag = best[j]
+			best[j] = max32(match, max32(vert[j], horiz))
+		}
+	}
+	return best[n]
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// alignmentRun aligns all pairs, one task per pair, and sums the scores.
+func alignmentRun(rt Runtime, size Size) int64 {
+	p := alignmentSize(size)
+	seqs, score := alignmentInput(p)
+	var futures []Future
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			a, b := seqs[i], seqs[j]
+			futures = append(futures, rt.Async(func() any {
+				return int64(needlemanWunsch(a, b, &score))
+			}))
+		}
+	}
+	var sum int64
+	for _, f := range futures {
+		sum += f.Get().(int64)
+	}
+	return sum
+}
+
+// alignmentRef computes the checksum sequentially.
+func alignmentRef(size Size) int64 {
+	p := alignmentSize(size)
+	seqs, score := alignmentInput(p)
+	var sum int64
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			sum += int64(needlemanWunsch(seqs[i], seqs[j], &score))
+		}
+	}
+	return sum
+}
+
+// alignmentGraph: all-pairs fan-out at the paper's 2748 µs grain.
+func alignmentGraph(size Size) *sim.Graph {
+	p := alignmentSize(Paper)
+	tasks := p.sequences * (p.sequences - 1) / 2 // 4950
+	switch size {
+	case Test:
+		tasks = 64
+	case Small:
+		tasks = 512
+	case Medium:
+		tasks = 2048
+	}
+	return fanoutGraph("alignment", tasks, grainNs(2748), alignmentIntensity)
+}
+
+// alignmentIntensity keeps Alignment compute-bound: ~0.9 GB/s per core,
+// so even 20 cores (≈18 GB/s) stay below socket bandwidth and the
+// off-core bandwidth of Figure 13 grows nearly linearly with cores.
+const alignmentIntensity = 0.9e9
+
+var alignmentBenchmark = register(&Benchmark{
+	Name:            "alignment",
+	Class:           "Loop Like",
+	Sync:            "none",
+	Granularity:     "coarse",
+	PaperTaskUs:     2748,
+	PaperStdScaling: "to 20",
+	PaperHPXScaling: "to 20",
+	MemIntensity:    alignmentIntensity,
+	Run:             alignmentRun,
+	RefChecksum:     alignmentRef,
+	TaskGraph:       alignmentGraph,
+})

@@ -1,0 +1,127 @@
+package inncabs
+
+import (
+	"testing"
+)
+
+func TestNeedlemanWunschIdentical(t *testing.T) {
+	_, score := alignmentInput(alignmentParams{sequences: 2, length: 8})
+	a := []byte{0, 1, 2, 3, 4, 5}
+	got := needlemanWunsch(a, a, &score)
+	// Identical sequences align along the diagonal: the score is the
+	// sum of the diagonal substitution scores.
+	var want int32
+	for _, c := range a {
+		want += score[c][c]
+	}
+	if got != want {
+		t.Fatalf("self-alignment = %d want %d", got, want)
+	}
+}
+
+func TestNeedlemanWunschSymmetric(t *testing.T) {
+	seqs, score := alignmentInput(alignmentParams{sequences: 6, length: 40})
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			ab := needlemanWunsch(seqs[i], seqs[j], &score)
+			ba := needlemanWunsch(seqs[j], seqs[i], &score)
+			if ab != ba {
+				t.Fatalf("asymmetric alignment (%d,%d): %d vs %d", i, j, ab, ba)
+			}
+		}
+	}
+}
+
+func TestNeedlemanWunschGapStructure(t *testing.T) {
+	_, score := alignmentInput(alignmentParams{sequences: 2, length: 8})
+	a := []byte{0, 1, 2, 3}
+	b := []byte{0, 1, 2, 3, 4} // one insertion
+	withGap := needlemanWunsch(a, b, &score)
+	exact := needlemanWunsch(a, a, &score)
+	// Aligning against a one-longer sequence can cost at most one gap
+	// open (and may also change one substitution).
+	if withGap > exact {
+		t.Fatalf("longer target scored higher without possible benefit: %d > %d", withGap, exact)
+	}
+	if exact-withGap > 30 {
+		t.Fatalf("single insertion cost %d, more than a gap plus a mismatch", exact-withGap)
+	}
+}
+
+func TestNeedlemanWunschAgainstQuadraticDP(t *testing.T) {
+	// Cross-check the linear-space Gotoh against a full-matrix
+	// reference on small random inputs.
+	seqs, score := alignmentInput(alignmentParams{sequences: 8, length: 12})
+	for i := 0; i+1 < len(seqs); i += 2 {
+		got := needlemanWunsch(seqs[i], seqs[i+1], &score)
+		want := gotohFullMatrix(seqs[i], seqs[i+1], &score)
+		if got != want {
+			t.Fatalf("pair %d: linear-space %d != full matrix %d", i, got, want)
+		}
+	}
+}
+
+// gotohFullMatrix is an O(n*m) space reference implementing the same
+// transition variant as needlemanWunsch: gaps may open from the best of
+// all three states (best[i][j] = max(M, Ix, Iy)), and best is what the
+// next match transitions from.
+func gotohFullMatrix(a, b []byte, score *[alignAlphabet][alignAlphabet]int32) int32 {
+	const (
+		gapOpen   = 10
+		gapExtend = 1
+		negInf    = int32(-1 << 28)
+	)
+	n, m := len(a), len(b)
+	best := make([][]int32, n+1)
+	vert := make([][]int32, n+1) // Ix: gap in b
+	horz := make([][]int32, n+1) // Iy: gap in a
+	for i := range best {
+		best[i] = make([]int32, m+1)
+		vert[i] = make([]int32, m+1)
+		horz[i] = make([]int32, m+1)
+	}
+	for j := 0; j <= m; j++ {
+		vert[0][j] = negInf
+		horz[0][j] = negInf
+		if j > 0 {
+			best[0][j] = -gapOpen - int32(j-1)*gapExtend
+		}
+	}
+	for i := 1; i <= n; i++ {
+		best[i][0] = -gapOpen - int32(i-1)*gapExtend
+		vert[i][0] = negInf
+		horz[i][0] = negInf
+		for j := 1; j <= m; j++ {
+			vert[i][j] = max32(best[i-1][j]-gapOpen, vert[i-1][j]-gapExtend)
+			horz[i][j] = max32(best[i][j-1]-gapOpen, horz[i][j-1]-gapExtend)
+			match := best[i-1][j-1] + score[a[i-1]][b[j-1]]
+			best[i][j] = max32(match, max32(vert[i][j], horz[i][j]))
+		}
+	}
+	return best[n][m]
+}
+
+func TestAlignmentTaskCount(t *testing.T) {
+	// Paper: 4950 tasks = all pairs of 100 sequences.
+	p := alignmentSize(Paper)
+	if got := p.sequences * (p.sequences - 1) / 2; got != 4950 {
+		t.Fatalf("paper pair count = %d", got)
+	}
+	g := alignmentGraph(Paper)
+	if got := g.Stats().Tasks; got != 4951 { // + the spawning root
+		t.Fatalf("paper graph tasks = %d", got)
+	}
+}
+
+func TestAlignmentDeterministicInput(t *testing.T) {
+	a1, s1 := alignmentInput(alignmentSize(Test))
+	a2, s2 := alignmentInput(alignmentSize(Test))
+	if s1 != s2 {
+		t.Fatal("score matrices differ across runs")
+	}
+	for i := range a1 {
+		if string(a1[i]) != string(a2[i]) {
+			t.Fatal("sequences differ across runs")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package inncabs
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/sim"
+)
+
+// FFT: recursive radix-2 decimation-in-time Cooley-Tukey transform over
+// complex128, spawning a task per half above the cutoff and combining
+// after the join. Recursive balanced, no synchronization, variable/very
+// fine grain (Table V: 1.03 µs). Both versions scale only to ~6 cores in
+// the paper: the grain is overwhelmed by scheduling and memory costs.
+
+type fftParams struct {
+	n      int
+	cutoff int
+}
+
+func fftSize(s Size) fftParams {
+	switch s {
+	case Test:
+		return fftParams{n: 1 << 10, cutoff: 64}
+	case Small:
+		return fftParams{n: 1 << 14, cutoff: 64}
+	case Medium:
+		return fftParams{n: 1 << 17, cutoff: 128}
+	default: // Paper: ~16M points; scaled to 2^19 here
+		return fftParams{n: 1 << 19, cutoff: 128}
+	}
+}
+
+func fftInput(n int) []complex128 {
+	prng := newPRNG(0xFF7)
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(prng.float64n()*2-1, prng.float64n()*2-1)
+	}
+	return a
+}
+
+// fftSeq transforms a in place sequentially (iterative Cooley-Tukey on
+// the strided view materialised by fftTask's splits).
+func fftSeq(a []complex128) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// fftTask transforms a recursively: even and odd halves in parallel,
+// butterfly combine after the join.
+func fftTask(rt Runtime, a []complex128, cutoff int) {
+	n := len(a)
+	if n <= cutoff {
+		fftSeq(a)
+		return
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = a[2*i]
+		odd[i] = a[2*i+1]
+	}
+	ef := rt.Async(func() any {
+		fftTask(rt, even, cutoff)
+		return nil
+	})
+	fftTask(rt, odd, cutoff)
+	ef.Get()
+	for k := 0; k < n/2; k++ {
+		t := odd[k] * cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+		a[k] = even[k] + t
+		a[k+n/2] = even[k] - t
+	}
+}
+
+// fftChecksum condenses the spectrum into the total energy per point
+// plus a few probe-bin magnitudes, rounded coarsely: robust against the
+// reassociation differences between the recursive and iterative
+// transforms, yet sensitive to any structural error.
+func fftChecksum(a []complex128) int64 {
+	var energy float64
+	for _, v := range a {
+		energy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	sum := int64(math.Round(energy/float64(len(a)))) * 1000003
+	for _, k := range []int{0, 1, len(a) / 3, len(a) / 2, len(a) - 1} {
+		sum = sum*31 + int64(math.Round(cmplx.Abs(a[k])))
+	}
+	return sum
+}
+
+func fftRun(rt Runtime, size Size) int64 {
+	p := fftSize(size)
+	a := fftInput(p.n)
+	fftTask(rt, a, p.cutoff)
+	return fftChecksum(a)
+}
+
+func fftRef(size Size) int64 {
+	p := fftSize(size)
+	a := fftInput(p.n)
+	fftSeq(a)
+	return fftChecksum(a)
+}
+
+// fftGraph: binary recursion; leaves transform cutoff points (~1 µs),
+// interior nodes pay the split before and the butterfly pass after the
+// join — O(range) work, the "variable" part of the grain.
+func fftGraph(size Size) *sim.Graph {
+	p := fftSize(size)
+	depth := 0
+	for n := p.n; n > p.cutoff; n /= 2 {
+		depth++
+	}
+	if depth > 13 {
+		depth = 13 // cap the simulated tree at ~16k leaves
+	}
+	// Butterfly cost per cutoff-block of merged range, weighted so the
+	// average task duration lands at Table V's 1.03 µs while the upper
+	// merge levels still dominate the critical path.
+	return binaryTreeGraph("fft", depth, grainNs(1.03), grainNs(1.03)/4, fftIntensity)
+}
+
+// fftIntensity: strided complex traffic: ~4 GB/s per core.
+const fftIntensity = 4e9
+
+var fftBenchmark = register(&Benchmark{
+	Name:            "fft",
+	Class:           "Recursive Balanced",
+	Sync:            "none",
+	Granularity:     "variable/very fine",
+	PaperTaskUs:     1.03,
+	PaperStdScaling: "to 6",
+	PaperHPXScaling: "to 6",
+	MemIntensity:    fftIntensity,
+	Run:             fftRun,
+	RefChecksum:     fftRef,
+	TaskGraph:       fftGraph,
+})

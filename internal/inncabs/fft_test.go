@@ -1,0 +1,87 @@
+package inncabs
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// naiveDFT is the O(n^2) definition, the ground truth for fftSeq.
+func naiveDFT(a []complex128) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			out[k] += a[j] * cmplx.Rect(1, -2*math.Pi*float64(k*j)/float64(n))
+		}
+	}
+	return out
+}
+
+func TestFFTSeqAgainstNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16, 64} {
+		a := fftInput(n)
+		want := naiveDFT(a)
+		fftSeq(a)
+		for k := range a {
+			if cmplx.Abs(a[k]-want[k]) > 1e-6*float64(n) {
+				t.Fatalf("n=%d bin %d: %v != %v", n, k, a[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTRecursiveMatchesIterative(t *testing.T) {
+	rt := hpxTestRuntime(t, 2)
+	for _, n := range []int{128, 1024} {
+		par := fftInput(n)
+		seq := fftInput(n)
+		fftTask(rt, par, 32)
+		fftSeq(seq)
+		for k := range par {
+			if cmplx.Abs(par[k]-seq[k]) > 1e-6*float64(n) {
+				t.Fatalf("n=%d bin %d: recursive %v != iterative %v", n, k, par[k], seq[k])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Parseval: sum |X_k|^2 = n * sum |x_j|^2 for the unnormalised DFT.
+	n := 512
+	x := fftInput(n)
+	var inEnergy float64
+	for _, v := range x {
+		inEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	fftSeq(x)
+	var outEnergy float64
+	for _, v := range x {
+		outEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(outEnergy-float64(n)*inEnergy)/outEnergy > 1e-9 {
+		t.Fatalf("Parseval violated: %v vs %v", outEnergy, float64(n)*inEnergy)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The DFT of a unit impulse is flat ones.
+	a := make([]complex128, 64)
+	a[0] = 1
+	fftSeq(a)
+	for k, v := range a {
+		if cmplx.Abs(v-1) > 1e-9 {
+			t.Fatalf("impulse bin %d = %v", k, v)
+		}
+	}
+}
+
+func TestFFTChecksumDetectsCorruption(t *testing.T) {
+	a := fftInput(1024)
+	fftSeq(a)
+	good := fftChecksum(a)
+	a[100] += complex(50, 0)
+	if fftChecksum(a) == good {
+		t.Fatal("checksum blind to a corrupted bin")
+	}
+}

@@ -1,0 +1,108 @@
+package inncabs
+
+import "repro/internal/sim"
+
+// Fib: the classic doubly recursive Fibonacci, one task per recursive
+// call above the sequential cutoff. Recursive balanced, no
+// synchronization, very fine grain (Table V: 1.37 µs). The std::async
+// version fails on the paper's platform: every in-flight call holds an
+// OS thread and the call tree keeps ~fib(n-cutoff) of them live at once.
+
+type fibParams struct {
+	n      int
+	cutoff int
+}
+
+func fibSize(s Size) fibParams {
+	switch s {
+	case Test:
+		return fibParams{n: 18, cutoff: 8}
+	case Small:
+		return fibParams{n: 24, cutoff: 10}
+	case Medium:
+		return fibParams{n: 28, cutoff: 12}
+	default: // Paper: Inncabs runs fib(30+)
+		return fibParams{n: 30, cutoff: 12}
+	}
+}
+
+// fibSeq is the sequential kernel below the cutoff.
+func fibSeq(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+func fibTask(rt Runtime, n, cutoff int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	if n <= cutoff {
+		return fibSeq(n)
+	}
+	left := rt.Async(func() any { return fibTask(rt, n-1, cutoff) })
+	right := fibTask(rt, n-2, cutoff)
+	return left.Get().(int64) + right
+}
+
+func fibRun(rt Runtime, size Size) int64 {
+	p := fibSize(size)
+	return fibTask(rt, p.n, p.cutoff)
+}
+
+func fibRef(size Size) int64 {
+	p := fibSize(size)
+	// Iterative reference.
+	a, b := int64(0), int64(1)
+	for i := 0; i < p.n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// fibGraph mirrors the truncated call tree: interior nodes split into
+// fib(n-1) and fib(n-2) subtrees, leaves carry the sequential kernel's
+// work. The leaf work is scaled so the average task duration matches
+// Table V's 1.37 µs.
+func fibGraph(size Size) *sim.Graph {
+	p := fibSize(size)
+	if size == Paper {
+		// The original spawns a task for every call; a cutoff of 5
+		// reproduces that spawn volume (~390k tasks, peak live
+		// concurrency beyond the baseline's ~90k-thread ceiling — the
+		// paper's observed failure).
+		p.cutoff = 5
+	}
+	work := grainNs(1.37)
+	bytes := taskBytes(fibIntensity, work)
+	var build func(n int) *sim.Node
+	build = func(n int) *sim.Node {
+		if n <= p.cutoff {
+			return sim.Leaf(work, bytes)
+		}
+		return &sim.Node{
+			PreNs:    work / 2, // the spawning call's own bookkeeping
+			PostNs:   work / 2,
+			Children: []*sim.Node{build(n - 1), build(n - 2)},
+		}
+	}
+	return &sim.Graph{Label: "fib", Root: build(p.n)}
+}
+
+// fibIntensity: pure integer recursion, nearly no off-core traffic.
+const fibIntensity = 0.05e9
+
+var fibBenchmark = register(&Benchmark{
+	Name:            "fib",
+	Class:           "Recursive Balanced",
+	Sync:            "none",
+	Granularity:     "very fine",
+	PaperTaskUs:     1.37,
+	PaperStdScaling: "fail",
+	PaperHPXScaling: "to 10",
+	MemIntensity:    fibIntensity,
+	Run:             fibRun,
+	RefChecksum:     fibRef,
+	TaskGraph:       fibGraph,
+})

@@ -1,0 +1,46 @@
+package inncabs
+
+import "testing"
+
+func TestFibSeq(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n, v := range want {
+		if got := fibSeq(n); got != v {
+			t.Errorf("fibSeq(%d) = %d want %d", n, got, v)
+		}
+	}
+}
+
+func TestFibRefIterative(t *testing.T) {
+	for _, s := range []Size{Test, Small, Medium, Paper} {
+		p := fibSize(s)
+		if got, want := fibRef(s), fibSeq(p.n); got != want {
+			t.Errorf("size %v: iterative %d != recursive %d", s, got, want)
+		}
+	}
+}
+
+func TestFibTaskCutoffs(t *testing.T) {
+	rt := hpxTestRuntime(t, 2)
+	for _, cutoff := range []int{0, 1, 5, 20} {
+		if got := fibTask(rt, 20, cutoff); got != 6765 {
+			t.Errorf("cutoff %d: fib(20) = %d", cutoff, got)
+		}
+	}
+}
+
+func TestFibGraphStructure(t *testing.T) {
+	// The truncated call tree of fib(n) with cutoff c has
+	// S(n-c) nodes where S(k) = 1 + S(k-1) + S(k-2), S(k<=0) = 1,
+	// which closes to 2*fib(k+2) - 1.
+	g := fibGraph(Test) // n=18, cutoff=8
+	want := 2*fibSeq(18-8+2) - 1
+	if got := g.Stats().Tasks; got != want {
+		t.Fatalf("graph tasks = %d want %d", got, want)
+	}
+	// The Paper graph reproduces the spawn explosion (cutoff 5).
+	gp := fibGraph(Paper)
+	if got := gp.Stats().Tasks; got != 2*fibSeq(30-5+2)-1 {
+		t.Fatalf("paper graph tasks = %d", got)
+	}
+}

@@ -1,0 +1,204 @@
+package inncabs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Floorplan: branch-and-bound placement of rectangular cells onto a
+// grid, minimising the bounding-box semi-perimeter. Each branch places
+// the next cell in one of its shapes at one of the candidate anchors and
+// spawns a task per alternative; a shared atomic best bound prunes.
+// Recursive unbalanced with atomic pruning, very fine grain (Table V:
+// 4.60 µs).
+//
+// The paper notes a reproduction subtlety: the std::async global queue
+// explores in an order that finds good bounds earlier, so a fair
+// comparison fixes the amount of exploration. Our deterministic
+// reproduction explores the full pruned space on every runtime, so the
+// result is order independent.
+
+type floorplanParams struct {
+	gridW, gridH  int
+	cells         int
+	parallelDepth int
+}
+
+func floorplanSize(s Size) floorplanParams {
+	switch s {
+	case Test:
+		return floorplanParams{gridW: 12, gridH: 12, cells: 5, parallelDepth: 2}
+	case Small:
+		return floorplanParams{gridW: 16, gridH: 16, cells: 6, parallelDepth: 2}
+	case Medium:
+		return floorplanParams{gridW: 20, gridH: 20, cells: 7, parallelDepth: 3}
+	default: // Paper: input.15 (15 cells); scaled to 8
+		return floorplanParams{gridW: 24, gridH: 24, cells: 8, parallelDepth: 3}
+	}
+}
+
+// cellShape is one width x height alternative for a cell.
+type cellShape struct{ w, h int }
+
+// floorplanCells derives each cell's shape alternatives deterministically.
+func floorplanCells(p floorplanParams) [][]cellShape {
+	prng := newPRNG(0xF100)
+	cells := make([][]cellShape, p.cells)
+	for i := range cells {
+		// Areas are products of two grid-feasible factors, so every
+		// cell has at least one legal shape.
+		area := (prng.intn(3) + 2) * (prng.intn(4) + 2)
+		var shapes []cellShape
+		for w := 1; w <= area; w++ {
+			if area%w == 0 {
+				h := area / w
+				if w <= p.gridW && h <= p.gridH {
+					shapes = append(shapes, cellShape{w, h})
+				}
+			}
+		}
+		cells[i] = shapes
+	}
+	return cells
+}
+
+// floorplanState is one partial placement: an occupancy bitmap per row
+// plus the bounding box so far.
+type floorplanState struct {
+	p    floorplanParams
+	rows []uint64 // one bit per column, gridW <= 64
+	maxX int
+	maxY int
+}
+
+func newFloorplanState(p floorplanParams) *floorplanState {
+	return &floorplanState{p: p, rows: make([]uint64, p.gridH)}
+}
+
+func (s *floorplanState) clone() *floorplanState {
+	c := &floorplanState{p: s.p, rows: make([]uint64, len(s.rows)), maxX: s.maxX, maxY: s.maxY}
+	copy(c.rows, s.rows)
+	return c
+}
+
+// fits reports whether shape fits with its top-left corner at (x, y).
+func (s *floorplanState) fits(x, y int, sh cellShape) bool {
+	if x+sh.w > s.p.gridW || y+sh.h > s.p.gridH {
+		return false
+	}
+	mask := ((uint64(1) << sh.w) - 1) << x
+	for r := y; r < y+sh.h; r++ {
+		if s.rows[r]&mask != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// place marks the shape's area occupied and grows the bounding box.
+func (s *floorplanState) place(x, y int, sh cellShape) {
+	mask := ((uint64(1) << sh.w) - 1) << x
+	for r := y; r < y+sh.h; r++ {
+		s.rows[r] |= mask
+	}
+	if x+sh.w > s.maxX {
+		s.maxX = x + sh.w
+	}
+	if y+sh.h > s.maxY {
+		s.maxY = y + sh.h
+	}
+}
+
+// anchors enumerates candidate positions: the origin plus positions
+// adjacent to the current bounding box edges (the classic floorplan
+// anchor set, keeping the branching factor bounded).
+func (s *floorplanState) anchors() [][2]int {
+	if s.maxX == 0 {
+		return [][2]int{{0, 0}}
+	}
+	var out [][2]int
+	for y := 0; y <= s.maxY && y < s.p.gridH; y++ {
+		out = append(out, [2]int{s.maxX, y})
+	}
+	for x := 0; x <= s.maxX && x < s.p.gridW; x++ {
+		out = append(out, [2]int{x, s.maxY})
+	}
+	return out
+}
+
+// bound is the semi-perimeter of the bounding box.
+func (s *floorplanState) bound() int { return s.maxX + s.maxY }
+
+// floorplanSearch explores placements of cells[idx:], pruning on best.
+func floorplanSearch(rt Runtime, cells [][]cellShape, s *floorplanState, idx int, best *atomic.Int64, parallelDepth int) {
+	if int64(s.bound()) >= best.Load() {
+		return // prune: the box only grows
+	}
+	if idx == len(cells) {
+		for {
+			cur := best.Load()
+			b := int64(s.bound())
+			if b >= cur || best.CompareAndSwap(cur, b) {
+				return
+			}
+		}
+	}
+	var futures []Future
+	for _, sh := range cells[idx] {
+		for _, a := range s.anchors() {
+			if !s.fits(a[0], a[1], sh) {
+				continue
+			}
+			next := s.clone()
+			next.place(a[0], a[1], sh)
+			if idx < parallelDepth {
+				futures = append(futures, rt.Async(func() any {
+					floorplanSearch(rt, cells, next, idx+1, best, parallelDepth)
+					return nil
+				}))
+			} else {
+				floorplanSearch(rt, cells, next, idx+1, best, parallelDepth)
+			}
+		}
+	}
+	for _, f := range futures {
+		f.Get()
+	}
+}
+
+func floorplanRunOn(rt Runtime, size Size) int64 {
+	p := floorplanSize(size)
+	cells := floorplanCells(p)
+	var best atomic.Int64
+	best.Store(int64(p.gridW + p.gridH + 1))
+	floorplanSearch(rt, cells, newFloorplanState(p), 0, &best, p.parallelDepth)
+	return best.Load()
+}
+
+func floorplanRun(rt Runtime, size Size) int64 { return floorplanRunOn(rt, size) }
+
+func floorplanRef(size Size) int64 { return floorplanRunOn(sequentialRuntime{}, size) }
+
+// floorplanGraph: irregular pruned tree at the 4.6 µs grain.
+func floorplanGraph(size Size) *sim.Graph {
+	maxNodes := map[Size]int{Test: 500, Small: 4000, Medium: 30000, Paper: 169708}[size]
+	return unbalancedTreeGraph("floorplan", 0xF100, maxNodes, 9, 8, grainNs(4.60), floorplanIntensity)
+}
+
+// floorplanIntensity: bitmap clones dominate: ~1.5 GB/s.
+const floorplanIntensity = 1.5e9
+
+var floorplanBenchmark = register(&Benchmark{
+	Name:            "floorplan",
+	Class:           "Recursive Unbalanced",
+	Sync:            "atomic pruning",
+	Granularity:     "very fine",
+	PaperTaskUs:     4.60,
+	PaperStdScaling: "to 10",
+	PaperHPXScaling: "to 10",
+	MemIntensity:    floorplanIntensity,
+	Run:             floorplanRun,
+	RefChecksum:     floorplanRef,
+	TaskGraph:       floorplanGraph,
+})

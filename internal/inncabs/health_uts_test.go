@@ -1,0 +1,105 @@
+package inncabs
+
+import "testing"
+
+func TestBuildVillagesShape(t *testing.T) {
+	p := healthParams{levels: 3, branching: 4, steps: 1}
+	root := buildVillages(p)
+	count := 0
+	var walk func(v *village, level int)
+	walk = func(v *village, level int) {
+		count++
+		if v.level != level {
+			t.Fatalf("village %d at level %d, want %d", v.id, v.level, level)
+		}
+		wantKids := p.branching
+		if level == p.levels {
+			wantKids = 0
+		}
+		if len(v.children) != wantKids {
+			t.Fatalf("village %d has %d children, want %d", v.id, len(v.children), wantKids)
+		}
+		for _, c := range v.children {
+			walk(c, level+1)
+		}
+	}
+	walk(root, 1)
+	if count != 1+4+16 {
+		t.Fatalf("village count = %d", count)
+	}
+}
+
+func TestHealthParallelEqualsSequentialPerStep(t *testing.T) {
+	rt := hpxTestRuntime(t, 4)
+	// Interleave: run the same steps on two trees, one parallel, one
+	// sequential, and compare the full patient state each step.
+	p := healthParams{levels: 3, branching: 3, steps: 5}
+	a := buildVillages(p)
+	b := buildVillages(p)
+	for step := 0; step < p.steps; step++ {
+		healthStep(rt, a, step)
+		healthStep(sequentialRuntime{}, b, step)
+	}
+	var compare func(x, y *village)
+	compare = func(x, y *village) {
+		if x.treated != y.treated || len(x.waiting) != len(y.waiting) {
+			t.Fatalf("village %d diverged: treated %d/%d waiting %d/%d",
+				x.id, x.treated, y.treated, len(x.waiting), len(y.waiting))
+		}
+		for i := range x.children {
+			compare(x.children[i], y.children[i])
+		}
+	}
+	compare(a, b)
+}
+
+func TestHealthTreatsPatients(t *testing.T) {
+	if healthRef(Test) == 0 {
+		t.Fatal("no patients treated in the test workload")
+	}
+}
+
+func TestUTSDeterministicCount(t *testing.T) {
+	p := utsSize(Test)
+	a := utsCountSeq(p, 0x07357357, 0)
+	b := utsCountSeq(p, 0x07357357, 0)
+	if a != b || a < int64(p.rootChildren) {
+		t.Fatalf("uts counts: %d, %d", a, b)
+	}
+}
+
+func TestUTSTaskMatchesSeqAtAnyDepth(t *testing.T) {
+	rt := hpxTestRuntime(t, 2)
+	p := utsSize(Test)
+	want := utsCountSeq(p, 0x07357357, 0)
+	for _, seqDepth := range []int{0, 2, 4, 100} {
+		q := p
+		q.seqDepth = seqDepth
+		if got := utsCountTask(rt, q, 0x07357357, 0); got != want {
+			t.Errorf("seqDepth=%d: count %d want %d", seqDepth, got, want)
+		}
+	}
+}
+
+func TestUTSChildrenRespectDepthLimit(t *testing.T) {
+	p := utsSize(Test)
+	if kids := utsChildren(p, 1, p.maxDepth); kids != nil {
+		t.Fatalf("children beyond max depth: %v", kids)
+	}
+	if got := len(utsChildren(p, 1, 0)); got != p.rootChildren {
+		t.Fatalf("root children = %d want %d", got, p.rootChildren)
+	}
+	for _, kids := range [][]uint64{utsChildren(p, 99, 3), utsChildren(p, 7, 5)} {
+		if len(kids) > p.slots {
+			t.Fatalf("interior node exceeded %d slots: %d", p.slots, len(kids))
+		}
+	}
+}
+
+func TestUTSGraphMatchesImplicitTree(t *testing.T) {
+	p := utsSize(Test)
+	g := utsGraph(Test)
+	if got, want := g.Stats().Tasks, utsCountSeq(p, 0x07357357, 0); got != want {
+		t.Fatalf("graph tasks %d != implicit tree %d", got, want)
+	}
+}

@@ -1,0 +1,161 @@
+package inncabs
+
+import "repro/internal/sim"
+
+// Intersim: interconnection-network simulation. A ring of switches
+// forwards messages hop by hop; every simulated cycle spawns one task
+// per switch which drains its inbox under the inbox mutex, routes each
+// message (decrementing its TTL), and deposits survivors into the next
+// switch's inbox under that mutex — multiple mutex acquisitions per
+// task, the suite's "Co-dependent" worst case. Very fine grain
+// (Table V: 3.46 µs); the paper sees no std scaling and HPX scaling to
+// ~10 cores.
+
+type intersimParams struct {
+	switches int
+	cycles   int
+	seedMsgs int // messages injected per switch at cycle 0
+	ttl      int
+}
+
+func intersimSize(s Size) intersimParams {
+	switch s {
+	case Test:
+		return intersimParams{switches: 8, cycles: 16, seedMsgs: 4, ttl: 12}
+	case Small:
+		return intersimParams{switches: 32, cycles: 48, seedMsgs: 4, ttl: 24}
+	case Medium:
+		return intersimParams{switches: 64, cycles: 128, seedMsgs: 6, ttl: 48}
+	default: // Paper-shaped: ~1.7e6 task-messages scaled down
+		return intersimParams{switches: 128, cycles: 256, seedMsgs: 8, ttl: 64}
+	}
+}
+
+// message is one packet in flight.
+type message struct {
+	id   uint64
+	ttl  int
+	hops int64
+}
+
+// switchNode is one network switch with a mutex-protected inbox.
+type switchNode struct {
+	mu interface {
+		Lock()
+		Unlock()
+	}
+	inbox   []message
+	staging []message // next cycle's arrivals
+}
+
+// intersimRunOn simulates the ring. Within a cycle, a switch task reads
+// its own inbox and appends to the neighbour's staging area (guarded by
+// the neighbour's mutex); the join between cycles promotes staging to
+// inbox, so cycles are deterministic regardless of task interleaving.
+func intersimRunOn(rt Runtime, size Size) int64 {
+	p := intersimSize(size)
+	switches := make([]*switchNode, p.switches)
+	for i := range switches {
+		switches[i] = &switchNode{mu: rt.NewMutex()}
+	}
+	// Seed messages deterministically.
+	for i, sw := range switches {
+		for m := 0; m < p.seedMsgs; m++ {
+			id := hash64(uint64(i)*131 + uint64(m))
+			sw.inbox = append(sw.inbox, message{id: id, ttl: p.ttl})
+		}
+	}
+	var delivered int64
+	var totalHops int64
+	deliveredCh := make(chan int64, p.switches)
+	hopsCh := make(chan int64, p.switches)
+
+	for cycle := 0; cycle < p.cycles; cycle++ {
+		var futures []Future
+		for i := range switches {
+			i := i
+			futures = append(futures, rt.Async(func() any {
+				sw := switches[i]
+				next := switches[(i+1)%len(switches)]
+				sw.mu.Lock()
+				msgs := sw.inbox
+				sw.inbox = nil
+				sw.mu.Unlock()
+				var del, hops int64
+				var forward []message
+				for _, m := range msgs {
+					// Routing decision: a hash of id and position decides
+					// whether the message terminates here.
+					m.hops++
+					m.ttl--
+					if m.ttl <= 0 || hash64(m.id+uint64(i))%16 == 0 {
+						del++
+						hops += m.hops
+						continue
+					}
+					forward = append(forward, m)
+				}
+				next.mu.Lock()
+				next.staging = append(next.staging, forward...)
+				next.mu.Unlock()
+				deliveredCh <- del
+				hopsCh <- hops
+				return nil
+			}))
+		}
+		for _, f := range futures {
+			f.Get()
+		}
+		for range futures {
+			delivered += <-deliveredCh
+			totalHops += <-hopsCh
+		}
+		// Promote staged arrivals; single-threaded between cycles.
+		for _, sw := range switches {
+			sw.inbox = append(sw.inbox, sw.staging...)
+			sw.staging = nil
+		}
+	}
+	return delivered*1000003 + totalHops
+}
+
+func intersimRun(rt Runtime, size Size) int64 { return intersimRunOn(rt, size) }
+
+func intersimRef(size Size) int64 { return intersimRunOn(sequentialRuntime{}, size) }
+
+// intersimGraph: cycles in series, one 3.46 µs task per switch per
+// cycle.
+func intersimGraph(size Size) *sim.Graph {
+	p := intersimSize(size)
+	work := grainNs(3.46)
+	bytes := taskBytes(intersimIntensity, work)
+	root := &sim.Node{Serial: true}
+	for c := 0; c < p.cycles; c++ {
+		// The staging-to-inbox promotion between cycles is sequential
+		// (~200 ns per switch), an Amdahl term that caps the scaling of
+		// this co-dependent benchmark.
+		stage := &sim.Node{PostNs: int64(p.switches) * 200}
+		for i := 0; i < p.switches; i++ {
+			stage.Children = append(stage.Children, sim.Leaf(work, bytes))
+		}
+		root.Children = append(root.Children, stage)
+	}
+	return &sim.Graph{Label: "intersim", Root: root}
+}
+
+// intersimIntensity: queue shuffling: ~1 GB/s.
+const intersimIntensity = 1e9
+
+var intersimBenchmark = register(&Benchmark{
+	Name:            "intersim",
+	Class:           "Co-dependent",
+	Sync:            "mult. mutex/task",
+	Granularity:     "very fine",
+	PaperTaskUs:     3.46,
+	PaperStdScaling: "no scaling",
+	PaperHPXScaling: "to 10",
+	MemIntensity:    intersimIntensity,
+	Run:             intersimRun,
+	RefChecksum:     intersimRef,
+	TaskGraph:       intersimGraph,
+})

@@ -1,0 +1,8 @@
+package inncabs
+
+import "repro/internal/machine"
+
+// machineType aliases the platform model for test helpers.
+type machineType = machine.Machine
+
+func realIvyBridge() machine.Machine { return machine.IvyBridge() }

@@ -1,0 +1,147 @@
+package inncabs
+
+import "repro/internal/sim"
+
+// NQueens: count all placements of n queens on an n×n board, one task
+// per candidate column in the first `parallelDepth` rows, sequential
+// backtracking below. Recursive unbalanced, no synchronization, fine
+// grain (Table V: 28.1 µs). The std::async version fails outright on the
+// paper's platform — the spawn tree keeps tens of thousands of threads
+// live.
+
+type nqueensParams struct {
+	n             int
+	parallelDepth int
+}
+
+func nqueensSize(s Size) nqueensParams {
+	switch s {
+	case Test:
+		return nqueensParams{n: 8, parallelDepth: 2}
+	case Small:
+		return nqueensParams{n: 10, parallelDepth: 3}
+	case Medium:
+		return nqueensParams{n: 12, parallelDepth: 3}
+	default: // Paper: Inncabs runs 13-queens
+		return nqueensParams{n: 13, parallelDepth: 4}
+	}
+}
+
+// queensOK reports whether a queen at (row, col) is compatible with the
+// partial placement in pos[:row].
+func queensOK(pos []int8, row, col int) bool {
+	for r := 0; r < row; r++ {
+		c := int(pos[r])
+		if c == col || c-col == row-r || col-c == row-r {
+			return false
+		}
+	}
+	return true
+}
+
+// queensSeq counts solutions by sequential backtracking from row.
+func queensSeq(n int, pos []int8, row int) int64 {
+	if row == n {
+		return 1
+	}
+	var count int64
+	for col := 0; col < n; col++ {
+		if queensOK(pos, row, col) {
+			pos[row] = int8(col)
+			count += queensSeq(n, pos, row+1)
+		}
+	}
+	return count
+}
+
+// queensTask spawns one task per feasible column while above the
+// parallel depth.
+func queensTask(rt Runtime, n int, pos []int8, row, parallelDepth int) int64 {
+	if row >= parallelDepth {
+		local := make([]int8, n)
+		copy(local, pos[:row])
+		return queensSeq(n, local, row)
+	}
+	var futures []Future
+	for col := 0; col < n; col++ {
+		if queensOK(pos, row, col) {
+			branch := make([]int8, n)
+			copy(branch, pos[:row])
+			branch[row] = int8(col)
+			futures = append(futures, rt.Async(func() any {
+				return queensTask(rt, n, branch, row+1, parallelDepth)
+			}))
+		}
+	}
+	var count int64
+	for _, f := range futures {
+		count += f.Get().(int64)
+	}
+	return count
+}
+
+func nqueensRun(rt Runtime, size Size) int64 {
+	p := nqueensSize(size)
+	return queensTask(rt, p.n, make([]int8, p.n), 0, p.parallelDepth)
+}
+
+// nqueensSolutions holds the known solution counts.
+var nqueensSolutions = map[int]int64{
+	8: 92, 10: 724, 12: 14200, 13: 73712,
+}
+
+func nqueensRef(size Size) int64 {
+	return nqueensSolutions[nqueensSize(size).n]
+}
+
+// nqueensGraph approximates the irregular spawn tree: branching narrows
+// with depth (placements get harder), leaf work is the 28.1 µs
+// backtracking kernel with high variance.
+func nqueensGraph(size Size) *sim.Graph {
+	p := nqueensSize(size)
+	if size == Paper {
+		// The original parallelises far deeper; seven spawned rows give
+		// the >10^5 concurrently live branches that exhaust the
+		// thread-per-task baseline.
+		p.parallelDepth = 7
+	}
+	prng := newPRNG(0x0EE5)
+	work := grainNs(28.1)
+	var build func(row int) *sim.Node
+	build = func(row int) *sim.Node {
+		if row >= p.parallelDepth {
+			// Leaf grain varies x16 across subtrees, like real
+			// backtracking ranges.
+			w := work/4 + int64(prng.intn(int(work)*2))
+			return sim.Leaf(w, taskBytes(nqueensIntensity, w))
+		}
+		// Feasible columns shrink roughly by row index.
+		kids := p.n - row*2
+		if kids < 2 {
+			kids = 2
+		}
+		n := &sim.Node{PreNs: work / 8, PostNs: work / 8}
+		for i := 0; i < kids; i++ {
+			n.Children = append(n.Children, build(row+1))
+		}
+		return n
+	}
+	return &sim.Graph{Label: "nqueens", Root: build(0)}
+}
+
+// nqueensIntensity: register/stack-resident search, minimal traffic.
+const nqueensIntensity = 0.05e9
+
+var nqueensBenchmark = register(&Benchmark{
+	Name:            "nqueens",
+	Class:           "Recursive Unbalanced",
+	Sync:            "none",
+	Granularity:     "fine",
+	PaperTaskUs:     28.1,
+	PaperStdScaling: "fail",
+	PaperHPXScaling: "to 20",
+	MemIntensity:    nqueensIntensity,
+	Run:             nqueensRun,
+	RefChecksum:     nqueensRef,
+	TaskGraph:       nqueensGraph,
+})

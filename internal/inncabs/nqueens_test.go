@@ -1,0 +1,55 @@
+package inncabs
+
+import "testing"
+
+func TestQueensSeqKnownCounts(t *testing.T) {
+	// Known solution counts for the n-queens problem.
+	want := map[int]int64{1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724}
+	for n, count := range want {
+		if got := queensSeq(n, make([]int8, n), 0); got != count {
+			t.Errorf("queensSeq(%d) = %d want %d", n, got, count)
+		}
+	}
+}
+
+func TestQueensOK(t *testing.T) {
+	pos := []int8{1, 3, 0} // queens at (0,1), (1,3), (2,0)
+	cases := []struct {
+		row, col int
+		want     bool
+	}{
+		{3, 1, false}, // same column as row 0
+		{3, 0, false}, // same column as row 2
+		{3, 2, false}, // diagonal from (1,3)... and adjacent diagonal of (2,0)? check: (2,0)->(3,1) diag; (3,2): from (1,3): |3-1|=2,|2-3|=1 no; from (2,0): |3-2|=1, |2-0|=2 no; from (0,1): |3-0|=3, |2-1|=1 no -> true actually
+	}
+	_ = cases
+	if queensOK(pos, 3, 1) {
+		t.Error("column conflict with row 0 not detected")
+	}
+	if queensOK(pos, 3, 0) {
+		t.Error("column conflict with row 2 not detected")
+	}
+	if queensOK(pos, 3, 4) {
+		t.Error("diagonal conflict with (1,3) not detected")
+	}
+	if !queensOK(pos, 3, 2) {
+		t.Error("legal placement rejected")
+	}
+}
+
+func TestQueensTaskMatchesSeq(t *testing.T) {
+	rt := hpxTestRuntime(t, 2)
+	for _, depth := range []int{0, 1, 2, 4} {
+		if got := queensTask(rt, 8, make([]int8, 8), 0, depth); got != 92 {
+			t.Errorf("parallelDepth=%d: count = %d want 92", depth, got)
+		}
+	}
+}
+
+func TestNQueensRefTable(t *testing.T) {
+	for _, s := range []Size{Test, Small, Medium, Paper} {
+		if nqueensRef(s) == 0 {
+			t.Errorf("no reference count for size %v (n=%d)", s, nqueensSize(s).n)
+		}
+	}
+}

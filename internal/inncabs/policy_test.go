@@ -1,0 +1,26 @@
+package inncabs
+
+import (
+	"testing"
+
+	"repro/internal/taskrt"
+)
+
+// TestAllPoliciesProduceIdenticalResults runs the whole suite under
+// every launch policy (the paper's Table IV policy comparison): results
+// must not depend on how tasks are launched.
+func TestAllPoliciesProduceIdenticalResults(t *testing.T) {
+	rt := taskrt.New(taskrt.WithWorkers(2))
+	t.Cleanup(rt.Shutdown)
+	for _, policy := range []taskrt.Policy{taskrt.Async, taskrt.Sync, taskrt.Fork, taskrt.Deferred, taskrt.Optional} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			hrt := &HPXRuntime{RT: rt, Policy: policy}
+			for _, b := range All() {
+				if got, want := b.Run(hrt, Test), b.RefChecksum(Test); got != want {
+					t.Fatalf("%s under %v: %d want %d", b.Name, policy, got, want)
+				}
+			}
+		})
+	}
+}

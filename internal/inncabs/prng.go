@@ -1,0 +1,99 @@
+package inncabs
+
+import "repro/internal/sim"
+
+// splitmix64 is the deterministic PRNG used for all benchmark inputs, so
+// every run of a given size computes the same problem and checksum.
+type splitmix64 struct{ state uint64 }
+
+func newPRNG(seed uint64) *splitmix64 { return &splitmix64{state: seed} }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (s *splitmix64) intn(n int) int {
+	return int(s.next() % uint64(n))
+}
+
+// float64n returns a value in [0, 1).
+func (s *splitmix64) float64n() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// hash64 mixes a single value (stateless splitmix step), used by UTS to
+// derive child counts from node ids.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Graph-building helpers shared by the TaskGraph generators.
+
+// fanoutGraph is the loop-like skeleton: one root spawning count leaves
+// of workNs each, with off-core traffic at the given intensity.
+func fanoutGraph(label string, count int, workNs int64, intensity float64) *sim.Graph {
+	root := &sim.Node{}
+	bytes := taskBytes(intensity, workNs)
+	root.Children = make([]*sim.Node, count)
+	for i := range root.Children {
+		root.Children[i] = sim.Leaf(workNs, bytes)
+	}
+	return &sim.Graph{Label: label, Root: root}
+}
+
+// binaryTreeGraph is the recursive-balanced skeleton: a binary recursion
+// of the given depth. Leaves carry leafNs of work; interior nodes carry
+// divide work before the spawn and merge work after the join, both
+// proportional to their subtree's leaf count times perLeafMergeNs.
+func binaryTreeGraph(label string, depth int, leafNs, perLeafMergeNs int64, intensity float64) *sim.Graph {
+	var build func(d int) *sim.Node
+	build = func(d int) *sim.Node {
+		if d == 0 {
+			return sim.Leaf(leafNs, taskBytes(intensity, leafNs))
+		}
+		leaves := int64(1) << uint(d)
+		merge := leaves * perLeafMergeNs
+		n := &sim.Node{
+			PostNs:    merge,
+			PostBytes: taskBytes(intensity, merge),
+			Children:  []*sim.Node{build(d - 1), build(d - 1)},
+		}
+		return n
+	}
+	return &sim.Graph{Label: label, Root: build(depth)}
+}
+
+// unbalancedTreeGraph is the recursive-unbalanced skeleton: child counts
+// drawn per node from a geometric-like distribution seeded
+// deterministically, capped to maxNodes total.
+func unbalancedTreeGraph(label string, seed uint64, maxNodes int, maxChildren, depth int, workNs int64, intensity float64) *sim.Graph {
+	prng := newPRNG(seed)
+	bytes := taskBytes(intensity, workNs)
+	budget := maxNodes - 1
+	var build func(d int, atRoot bool) *sim.Node
+	build = func(d int, atRoot bool) *sim.Node {
+		n := sim.Leaf(workNs, bytes)
+		if d == 0 {
+			return n
+		}
+		kids := prng.intn(maxChildren + 1)
+		if atRoot && kids < 2 {
+			kids = 2 // the search always branches at the first level
+		}
+		for i := 0; i < kids && budget > 0; i++ {
+			budget--
+			n.Children = append(n.Children, build(d-1, false))
+		}
+		return n
+	}
+	return &sim.Graph{Label: label, Root: build(depth, true)}
+}

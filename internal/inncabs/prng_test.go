@@ -1,0 +1,65 @@
+package inncabs
+
+import "testing"
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := newPRNG(7), newPRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := newPRNG(8)
+	same := 0
+	a = newPRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestPRNGRanges(t *testing.T) {
+	p := newPRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := p.intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn(7) = %d", v)
+		}
+		if f := p.float64n(); f < 0 || f >= 1 {
+			t.Fatalf("float64n = %v", f)
+		}
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit changes roughly half the output bits.
+	base := hash64(0x1234)
+	flipped := hash64(0x1235)
+	diff := base ^ flipped
+	ones := 0
+	for ; diff != 0; diff &= diff - 1 {
+		ones++
+	}
+	if ones < 16 || ones > 48 {
+		t.Fatalf("avalanche bits = %d", ones)
+	}
+}
+
+func TestGraphHelpers(t *testing.T) {
+	g := fanoutGraph("x", 5, 1000, 1e9)
+	if g.Stats().Tasks != 6 {
+		t.Fatalf("fanout tasks = %d", g.Stats().Tasks)
+	}
+	bt := binaryTreeGraph("y", 3, 100, 10, 0)
+	if bt.Stats().Tasks != 15 {
+		t.Fatalf("binary tree tasks = %d", bt.Stats().Tasks)
+	}
+	ut := unbalancedTreeGraph("z", 1, 50, 3, 4, 100, 0)
+	st := ut.Stats()
+	if st.Tasks < 3 || st.Tasks > 50+1 {
+		t.Fatalf("unbalanced tree tasks = %d", st.Tasks)
+	}
+}

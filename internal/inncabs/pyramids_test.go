@@ -1,0 +1,85 @@
+package inncabs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStencilStepConservesMass(t *testing.T) {
+	// The kernel 0.25/0.5/0.25 with periodic boundary conserves the sum.
+	src := pyramidsInput(64)
+	dst := make([]float64, 64)
+	stencilStep(dst, src, 0, 64)
+	var a, b float64
+	for i := range src {
+		a += src[i]
+		b += dst[i]
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("mass not conserved: %g -> %g", a, b)
+	}
+}
+
+func TestPyramidBlockMatchesDirect(t *testing.T) {
+	// A block with full halo must reproduce the global stepping exactly
+	// (bitwise: the arithmetic per point is identical).
+	n, h := 64, 5
+	src := pyramidsInput(n)
+	// Direct: h global steps.
+	direct := append([]float64(nil), src...)
+	tmp := make([]float64, n)
+	for s := 0; s < h; s++ {
+		stencilStep(tmp, direct, 0, n)
+		direct, tmp = tmp, direct
+	}
+	// Blocked: every block computed independently with halos.
+	blocked := make([]float64, n)
+	for lo := 0; lo < n; lo += 16 {
+		pyramidBlock(blocked, src, lo, lo+16, h)
+	}
+	for i := range direct {
+		if blocked[i] != direct[i] {
+			t.Fatalf("point %d: blocked %g != direct %g", i, blocked[i], direct[i])
+		}
+	}
+}
+
+func TestPyramidsParallelBitwiseEqualsSequential(t *testing.T) {
+	rt := hpxTestRuntime(t, 4)
+	p := pyramidsSize(Test)
+	par := pyramidsTask(rt, pyramidsInput(p.n), p.steps, p.base)
+	seq := pyramidsInput(p.n)
+	tmp := make([]float64, p.n)
+	for s := 0; s < p.steps; s++ {
+		stencilStep(tmp, seq, 0, p.n)
+		seq, tmp = tmp, seq
+	}
+	for i := range par {
+		if par[i] != seq[i] {
+			t.Fatalf("point %d: parallel %g != sequential %g", i, par[i], seq[i])
+		}
+	}
+}
+
+func TestPyramidsStaysBounded(t *testing.T) {
+	// The averaging kernel never exceeds the initial range [0,1).
+	p := pyramidsSize(Test)
+	rt := hpxTestRuntime(t, 2)
+	out := pyramidsTask(rt, pyramidsInput(p.n), p.steps, p.base)
+	for i, v := range out {
+		if v < 0 || v >= 1 {
+			t.Fatalf("point %d escaped [0,1): %g", i, v)
+		}
+	}
+}
+
+func TestPyramidsGraphIsSlabSequence(t *testing.T) {
+	g := pyramidsGraph(Test) // 2 slabs x 8 blocks
+	st := g.Stats()
+	if st.Tasks != 1+2*(1+8) {
+		t.Fatalf("graph tasks = %d", st.Tasks)
+	}
+	if !g.Root.Serial {
+		t.Fatal("slab stages must be serial")
+	}
+}

@@ -1,0 +1,140 @@
+package inncabs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// QAP: quadratic assignment by branch-and-bound. Facilities are
+// assigned to locations one level at a time; the cost couples every
+// placed pair through flow[i][j] * dist[loc(i)][loc(j)]; a shared atomic
+// best prunes with a greedy-completion lower bound. Recursive unbalanced
+// with atomic pruning, very fine grain (Table V: 1.00 µs). The paper
+// could only run the smallest input — QAP exceeded memory limits
+// otherwise — and both runtimes stop scaling early (std to 6, HPX to 4).
+
+type qapParams struct {
+	n             int
+	parallelDepth int
+}
+
+func qapSize(s Size) qapParams {
+	switch s {
+	case Test:
+		return qapParams{n: 7, parallelDepth: 2}
+	case Small:
+		return qapParams{n: 8, parallelDepth: 2}
+	case Medium:
+		return qapParams{n: 9, parallelDepth: 3}
+	default: // Paper: the smallest bundled instance
+		return qapParams{n: 10, parallelDepth: 3}
+	}
+}
+
+// qapInput builds deterministic flow and distance matrices.
+func qapInput(n int) (flow, dist [][]int32) {
+	prng := newPRNG(0x0A9)
+	flow = make([][]int32, n)
+	dist = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		flow[i] = make([]int32, n)
+		dist[i] = make([]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			f := int32(prng.intn(10))
+			d := int32(prng.intn(10) + 1)
+			flow[i][j], flow[j][i] = f, f
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	return flow, dist
+}
+
+// qapPartialCost returns the added cost of assigning facility k to
+// location loc given the existing partial assignment.
+func qapPartialCost(flow, dist [][]int32, assign []int8, k int, loc int8) int64 {
+	var c int64
+	for i := 0; i < k; i++ {
+		c += int64(flow[i][k]) * int64(dist[assign[i]][loc])
+	}
+	return c
+}
+
+// qapSearch explores assignments of facility k.. with pruning.
+func qapSearch(rt Runtime, flow, dist [][]int32, assign []int8, used uint32, k int, cost int64, best *atomic.Int64, parallelDepth int) {
+	n := len(flow)
+	if cost >= best.Load() {
+		return
+	}
+	if k == n {
+		for {
+			cur := best.Load()
+			if cost >= cur || best.CompareAndSwap(cur, cost) {
+				return
+			}
+		}
+	}
+	var futures []Future
+	for loc := int8(0); int(loc) < n; loc++ {
+		if used&(1<<uint(loc)) != 0 {
+			continue
+		}
+		add := qapPartialCost(flow, dist, assign, k, loc)
+		if cost+add >= best.Load() {
+			continue
+		}
+		branch := make([]int8, n)
+		copy(branch, assign[:k])
+		branch[k] = loc
+		nu := used | 1<<uint(loc)
+		if k < parallelDepth {
+			futures = append(futures, rt.Async(func() any {
+				qapSearch(rt, flow, dist, branch, nu, k+1, cost+add, best, parallelDepth)
+				return nil
+			}))
+		} else {
+			qapSearch(rt, flow, dist, branch, nu, k+1, cost+add, best, parallelDepth)
+		}
+	}
+	for _, f := range futures {
+		f.Get()
+	}
+}
+
+func qapRunOn(rt Runtime, size Size) int64 {
+	p := qapSize(size)
+	flow, dist := qapInput(p.n)
+	var best atomic.Int64
+	best.Store(1 << 40)
+	qapSearch(rt, flow, dist, make([]int8, p.n), 0, 0, 0, &best, p.parallelDepth)
+	return best.Load()
+}
+
+func qapRun(rt Runtime, size Size) int64 { return qapRunOn(rt, size) }
+
+func qapRef(size Size) int64 { return qapRunOn(sequentialRuntime{}, size) }
+
+// qapGraph: pruned permutation tree at the 1 µs grain.
+func qapGraph(size Size) *sim.Graph {
+	maxNodes := map[Size]int{Test: 400, Small: 2000, Medium: 20000, Paper: 120000}[size]
+	return unbalancedTreeGraph("qap", 0x0A9, maxNodes, 10, 6, grainNs(1.00), qapIntensity)
+}
+
+// qapIntensity: tiny matrices stay cache resident: ~0.3 GB/s.
+const qapIntensity = 0.3e9
+
+var qapBenchmark = register(&Benchmark{
+	Name:            "qap",
+	Class:           "Recursive Unbalanced",
+	Sync:            "atomic pruning",
+	Granularity:     "very fine",
+	PaperTaskUs:     1.00,
+	PaperStdScaling: "to 6",
+	PaperHPXScaling: "to 4",
+	MemIntensity:    qapIntensity,
+	Run:             qapRun,
+	RefChecksum:     qapRef,
+	TaskGraph:       qapGraph,
+})

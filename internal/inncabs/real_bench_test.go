@@ -1,0 +1,44 @@
+package inncabs
+
+// One testing.B benchmark per suite member on the real work-stealing
+// runtime at Test size: end-to-end spawn/execute/join cost of each
+// benchmark's actual task structure (not the simulator).
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/taskrt"
+)
+
+func benchReal(b *testing.B, name string) {
+	bm, err := ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := taskrt.New(taskrt.WithWorkers(runtime.GOMAXPROCS(0)))
+	defer rt.Shutdown()
+	hrt := NewHPX(rt)
+	want := bm.RefChecksum(Test)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := bm.Run(hrt, Test); got != want {
+			b.Fatalf("checksum %d want %d", got, want)
+		}
+	}
+}
+
+func BenchmarkRealAlignment(b *testing.B) { benchReal(b, "alignment") }
+func BenchmarkRealHealth(b *testing.B)    { benchReal(b, "health") }
+func BenchmarkRealSparseLU(b *testing.B)  { benchReal(b, "sparselu") }
+func BenchmarkRealFFT(b *testing.B)       { benchReal(b, "fft") }
+func BenchmarkRealFib(b *testing.B)       { benchReal(b, "fib") }
+func BenchmarkRealPyramids(b *testing.B)  { benchReal(b, "pyramids") }
+func BenchmarkRealSort(b *testing.B)      { benchReal(b, "sort") }
+func BenchmarkRealStrassen(b *testing.B)  { benchReal(b, "strassen") }
+func BenchmarkRealFloorplan(b *testing.B) { benchReal(b, "floorplan") }
+func BenchmarkRealNQueens(b *testing.B)   { benchReal(b, "nqueens") }
+func BenchmarkRealQAP(b *testing.B)       { benchReal(b, "qap") }
+func BenchmarkRealUTS(b *testing.B)       { benchReal(b, "uts") }
+func BenchmarkRealIntersim(b *testing.B)  { benchReal(b, "intersim") }
+func BenchmarkRealRound(b *testing.B)     { benchReal(b, "round") }

@@ -1,0 +1,128 @@
+package inncabs
+
+import "repro/internal/sim"
+
+// Round: the suite's coarse co-dependent member. Players sit in a ring,
+// each holding a token balance behind a mutex. Every round spawns one
+// task per player: the task performs a long deterministic computation
+// (the ~9.7 ms grain of Table V), then transfers a computed amount to
+// its right neighbour, locking both balances in index order — two mutex
+// acquisitions per task. Both runtimes scale to 20 cores in the paper;
+// Table I counts 512 tasks.
+
+type roundParams struct {
+	players int
+	rounds  int
+	workIts int // iterations of the per-task kernel
+}
+
+func roundSize(s Size) roundParams {
+	switch s {
+	case Test:
+		return roundParams{players: 8, rounds: 4, workIts: 20000}
+	case Small:
+		return roundParams{players: 16, rounds: 8, workIts: 100000}
+	case Medium:
+		return roundParams{players: 32, rounds: 8, workIts: 400000}
+	default: // Paper: 512 tasks total
+		return roundParams{players: 64, rounds: 8, workIts: 2000000}
+	}
+}
+
+// roundKernel is the coarse per-task computation: a deterministic LCG
+// walk whose result feeds the transfer amount.
+func roundKernel(seed uint64, its int) uint64 {
+	x := seed
+	for i := 0; i < its; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		x ^= x >> 33
+	}
+	return x
+}
+
+// player is one ring member.
+type player struct {
+	mu interface {
+		Lock()
+		Unlock()
+	}
+	tokens int64
+}
+
+func roundRunOn(rt Runtime, size Size) int64 {
+	p := roundSize(size)
+	players := make([]*player, p.players)
+	for i := range players {
+		players[i] = &player{mu: rt.NewMutex(), tokens: int64(i * 100)}
+	}
+	for r := 0; r < p.rounds; r++ {
+		var futures []Future
+		for i := range players {
+			i, r := i, r
+			futures = append(futures, rt.Async(func() any {
+				amount := int64(roundKernel(uint64(i)*2654435761+uint64(r), p.workIts) % 97)
+				a := players[i]
+				b := players[(i+1)%len(players)]
+				// Lock in index order to stay deadlock free.
+				first, second := a, b
+				if (i+1)%len(players) < i {
+					first, second = b, a
+				}
+				first.mu.Lock()
+				second.mu.Lock()
+				a.tokens -= amount
+				b.tokens += amount
+				second.mu.Unlock()
+				first.mu.Unlock()
+				return nil
+			}))
+		}
+		for _, f := range futures {
+			f.Get()
+		}
+	}
+	// The transfer amounts depend only on (player, round), so the final
+	// balances are independent of task interleaving.
+	var sum int64
+	for i, pl := range players {
+		sum += int64(i+1) * pl.tokens
+	}
+	return sum
+}
+
+func roundRun(rt Runtime, size Size) int64 { return roundRunOn(rt, size) }
+
+func roundRef(size Size) int64 { return roundRunOn(sequentialRuntime{}, size) }
+
+// roundGraph: rounds in series, one 9.7 ms task per player per round.
+func roundGraph(size Size) *sim.Graph {
+	p := roundSize(size)
+	work := grainNs(9671)
+	bytes := taskBytes(roundIntensity, work)
+	root := &sim.Node{Serial: true}
+	for r := 0; r < p.rounds; r++ {
+		stage := &sim.Node{}
+		for i := 0; i < p.players; i++ {
+			stage.Children = append(stage.Children, sim.Leaf(work, bytes))
+		}
+		root.Children = append(root.Children, stage)
+	}
+	return &sim.Graph{Label: "round", Root: root}
+}
+
+// roundIntensity: the LCG kernel is register resident: ~0.1 GB/s.
+const roundIntensity = 0.1e9
+
+var roundBenchmark = register(&Benchmark{
+	Name:            "round",
+	Class:           "Co-dependent",
+	Sync:            "2 mutex/task",
+	Granularity:     "coarse",
+	PaperTaskUs:     9671,
+	PaperStdScaling: "to 20",
+	PaperHPXScaling: "to 20",
+	MemIntensity:    roundIntensity,
+	Run:             roundRun,
+	RefChecksum:     roundRef,
+	TaskGraph:       roundGraph,
+})

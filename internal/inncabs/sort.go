@@ -1,0 +1,156 @@
+package inncabs
+
+import "repro/internal/sim"
+
+// Sort: parallel merge sort over int32 keys, spawning a task per half
+// above the sequential cutoff and merging after the join. Recursive
+// balanced, no synchronization, variable/fine grain (Table V: 52.1 µs —
+// leaves sort cutoff-sized runs, interior tasks merge progressively
+// larger ranges). Table I counts 328k tasks for the paper's input.
+
+type sortParams struct {
+	n      int
+	cutoff int
+}
+
+func sortSize(s Size) sortParams {
+	switch s {
+	case Test:
+		return sortParams{n: 1 << 12, cutoff: 256}
+	case Small:
+		return sortParams{n: 1 << 16, cutoff: 512}
+	case Medium:
+		return sortParams{n: 1 << 20, cutoff: 2048}
+	default: // Paper: 100M ints in the original; scaled to 2^22 here
+		return sortParams{n: 1 << 22, cutoff: 2048}
+	}
+}
+
+func sortInput(n int) []int32 {
+	prng := newPRNG(0x5027)
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = int32(prng.next())
+	}
+	return a
+}
+
+// insertionSort is the base-case kernel (the original uses std::sort on
+// small ranges; insertion sort keeps the leaf grain comparable).
+func insertionSort(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// mergeRuns merges two sorted runs into dst.
+func mergeRuns(dst, a, b []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// mergeSortTask sorts a in place, using buf (same length) as merge
+// scratch. The two halves sort concurrently; the merge runs after the
+// join, so interior tasks grow with their range — the paper's
+// "variable" grain.
+func mergeSortTask(rt Runtime, a, buf []int32, cutoff int) {
+	if len(a) <= cutoff {
+		insertionSort(a)
+		return
+	}
+	mid := len(a) / 2
+	left := rt.Async(func() any {
+		mergeSortTask(rt, a[:mid], buf[:mid], cutoff)
+		return nil
+	})
+	mergeSortTask(rt, a[mid:], buf[mid:], cutoff)
+	left.Get()
+	copy(buf, a)
+	mergeRuns(a, buf[:mid], buf[mid:])
+}
+
+func sortChecksum(a []int32) int64 {
+	// Order-sensitive checksum: fails if any element is misplaced.
+	var h uint64 = 1469598103934665603
+	for _, v := range a {
+		h = (h ^ uint64(uint32(v))) * 1099511628211
+	}
+	return int64(h)
+}
+
+func sortRun(rt Runtime, size Size) int64 {
+	p := sortSize(size)
+	a := sortInput(p.n)
+	buf := make([]int32, len(a))
+	mergeSortTask(rt, a, buf, p.cutoff)
+	return sortChecksum(a)
+}
+
+func sortRef(size Size) int64 {
+	p := sortSize(size)
+	a := sortInput(p.n)
+	// Sequential bottom-up merge sort reference.
+	buf := make([]int32, len(a))
+	for width := 1; width < len(a); width *= 2 {
+		for lo := 0; lo < len(a); lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > len(a) {
+				mid = len(a)
+			}
+			if hi > len(a) {
+				hi = len(a)
+			}
+			mergeRuns(buf[lo:hi], a[lo:mid], a[mid:hi])
+		}
+		a, buf = buf, a
+	}
+	return sortChecksum(a)
+}
+
+// sortGraph: binary recursion to the cutoff; leaves sort cutoff elements
+// (the 52 µs grain), interior nodes merge their range after the join.
+func sortGraph(size Size) *sim.Graph {
+	p := sortSize(size)
+	depth := 0
+	for n := p.n; n > p.cutoff; n /= 2 {
+		depth++
+	}
+	// Leaf grain per Table V; merge work proportional to range size,
+	// ~0.8 ns per element merged.
+	return binaryTreeGraph("sort", depth, grainNs(52.1), grainNs(52.1)/64, sortIntensity)
+}
+
+// sortIntensity: streaming merges are memory-hungry: ~3 GB/s per core.
+const sortIntensity = 3e9
+
+var sortBenchmark = register(&Benchmark{
+	Name:            "sort",
+	Class:           "Recursive Balanced",
+	Sync:            "none",
+	Granularity:     "variable/fine",
+	PaperTaskUs:     52.1,
+	PaperStdScaling: "to 10",
+	PaperHPXScaling: "to 16",
+	MemIntensity:    sortIntensity,
+	Run:             sortRun,
+	RefChecksum:     sortRef,
+	TaskGraph:       sortGraph,
+})

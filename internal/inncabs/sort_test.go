@@ -1,0 +1,76 @@
+package inncabs
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertionSort(t *testing.T) {
+	a := []int32{5, 2, 9, 1, 5, 6}
+	insertionSort(a)
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] }) {
+		t.Fatalf("not sorted: %v", a)
+	}
+	insertionSort(nil)        // must not panic
+	insertionSort([]int32{})  // must not panic
+	insertionSort([]int32{1}) // single element
+}
+
+func TestMergeRuns(t *testing.T) {
+	dst := make([]int32, 7)
+	mergeRuns(dst, []int32{1, 4, 9}, []int32{2, 3, 5, 10})
+	want := []int32{1, 2, 3, 4, 5, 9, 10}
+	if !reflect.DeepEqual(dst, want) {
+		t.Fatalf("merge = %v", dst)
+	}
+	// One side empty.
+	dst = make([]int32, 3)
+	mergeRuns(dst, nil, []int32{1, 2, 3})
+	if !reflect.DeepEqual(dst, []int32{1, 2, 3}) {
+		t.Fatalf("merge with empty left = %v", dst)
+	}
+}
+
+func TestMergeSortTaskSortsQuick(t *testing.T) {
+	rt := hpxTestRuntime(t, 2)
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			a := make([]int32, r.Intn(5000))
+			for i := range a {
+				a[i] = int32(r.Uint32())
+			}
+			args[0] = reflect.ValueOf(a)
+		},
+	}
+	prop := func(a []int32) bool {
+		want := append([]int32(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		buf := make([]int32, len(a))
+		mergeSortTask(rt, a, buf, 64)
+		return reflect.DeepEqual(a, want)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortChecksumOrderSensitive(t *testing.T) {
+	a := []int32{1, 2, 3, 4}
+	b := []int32{2, 1, 3, 4}
+	if sortChecksum(a) == sortChecksum(b) {
+		t.Fatal("checksum blind to element order")
+	}
+}
+
+func TestSortRefMatchesStdSort(t *testing.T) {
+	p := sortSize(Test)
+	a := sortInput(p.n)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	if sortChecksum(a) != sortRef(Test) {
+		t.Fatal("sortRef disagrees with sort.Slice")
+	}
+}

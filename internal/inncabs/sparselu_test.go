@@ -1,0 +1,140 @@
+package inncabs
+
+import (
+	"math"
+	"testing"
+)
+
+// denseFromBlocks expands a block matrix into a dense one (nil blocks
+// become zeros).
+func denseFromBlocks(m *blockMatrix) [][]float64 {
+	n := m.nb * m.bs
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for bi := 0; bi < m.nb; bi++ {
+		for bj := 0; bj < m.nb; bj++ {
+			b := m.at(bi, bj)
+			if b == nil {
+				continue
+			}
+			for x := 0; x < m.bs; x++ {
+				for y := 0; y < m.bs; y++ {
+					d[bi*m.bs+x][bj*m.bs+y] = b[x*m.bs+y]
+				}
+			}
+		}
+	}
+	return d
+}
+
+// denseLU factorises in place (Doolittle, no pivoting).
+func denseLU(a [][]float64) {
+	n := len(a)
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			a[i][k] /= a[k][k]
+			for j := k + 1; j < n; j++ {
+				a[i][j] -= a[i][k] * a[k][j]
+			}
+		}
+	}
+}
+
+func TestSparseLUMatchesDenseLU(t *testing.T) {
+	// The blocked sparse factorization must agree with a dense LU of
+	// the expanded matrix — entry by entry, including fill-in blocks.
+	p := sparseluParams{nb: 4, bs: 4}
+	m := sparseluInput(p)
+	want := denseFromBlocks(m)
+	denseLU(want)
+
+	sparseluFactor(sequentialRuntime{}, m)
+	got := denseFromBlocks(m)
+	for i := range want {
+		for j := range want[i] {
+			// Structurally-zero blocks never touched by bmod stay zero
+			// in the blocked version; dense LU fills them identically
+			// because their fill comes only through bmod-reachable
+			// paths. Compare everything.
+			if math.Abs(got[i][j]-want[i][j]) > 1e-8 {
+				t.Fatalf("(%d,%d): blocked %g != dense %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestLU0ReconstructsBlock(t *testing.T) {
+	// lu0 produces L (unit diagonal) and U with L*U = A.
+	p := sparseluParams{nb: 1, bs: 6}
+	m := sparseluInput(p)
+	orig := append([]float64(nil), m.at(0, 0)...)
+	lu0(m.at(0, 0), p.bs)
+	f := m.at(0, 0)
+	bs := p.bs
+	for i := 0; i < bs; i++ {
+		for j := 0; j < bs; j++ {
+			var sum float64
+			for k := 0; k <= min(i, j); k++ {
+				l := f[i*bs+k]
+				if k == i {
+					l = 1
+				}
+				if k > i {
+					l = 0
+				}
+				u := f[k*bs+j]
+				if k > j {
+					u = 0
+				}
+				sum += l * u
+			}
+			if math.Abs(sum-orig[i*bs+j]) > 1e-9 {
+				t.Fatalf("L*U != A at (%d,%d): %g vs %g", i, j, sum, orig[i*bs+j])
+			}
+		}
+	}
+}
+
+func TestSparseLUParallelEqualsSequential(t *testing.T) {
+	rt := hpxTestRuntime(t, 4)
+	m1 := sparseluInput(sparseluSize(Test))
+	m2 := sparseluInput(sparseluSize(Test))
+	sparseluFactor(rt, m1)
+	sparseluFactor(sequentialRuntime{}, m2)
+	for i := range m1.blocks {
+		b1, b2 := m1.blocks[i], m2.blocks[i]
+		if (b1 == nil) != (b2 == nil) {
+			t.Fatalf("fill-in structure differs at block %d", i)
+		}
+		for j := range b1 {
+			if b1[j] != b2[j] { // identical arithmetic -> bitwise equal
+				t.Fatalf("block %d entry %d: %g != %g", i, j, b1[j], b2[j])
+			}
+		}
+	}
+}
+
+func TestSparseLUPatternDeterministic(t *testing.T) {
+	a := sparseluInput(sparseluSize(Test))
+	b := sparseluInput(sparseluSize(Test))
+	for i := range a.blocks {
+		if (a.blocks[i] == nil) != (b.blocks[i] == nil) {
+			t.Fatal("sparsity pattern not deterministic")
+		}
+	}
+	// The BOTS pattern: diagonal, first row and first column present.
+	for k := 0; k < a.nb; k++ {
+		if a.at(k, k) == nil || a.at(0, k) == nil || a.at(k, 0) == nil {
+			t.Fatalf("required block missing at %d", k)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package inncabs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatMulNaiveIdentity(t *testing.T) {
+	n := 8
+	a, _ := strassenInput(n)
+	id := newMatrix(n)
+	for i := 0; i < n; i++ {
+		id.set(i, i, 1)
+	}
+	c := matMulNaive(a, id)
+	for i := range c.data {
+		if c.data[i] != a.data[i] {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+	c = matMulNaive(id, a)
+	for i := range c.data {
+		if c.data[i] != a.data[i] {
+			t.Fatalf("I*A != A at %d", i)
+		}
+	}
+}
+
+func TestStrassenMatchesNaive(t *testing.T) {
+	rt := hpxTestRuntime(t, 2)
+	for _, n := range []int{16, 32, 64} {
+		a, b := strassenInput(n)
+		want := matMulNaive(a, b)
+		got := strassenMul(rt, a, b, 8)
+		var maxErr float64
+		for i := range want.data {
+			if e := math.Abs(got.data[i] - want.data[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 1e-9*float64(n) {
+			t.Fatalf("n=%d: max elementwise error %g", n, maxErr)
+		}
+	}
+}
+
+func TestQuadrantRoundTrip(t *testing.T) {
+	a, _ := strassenInput(8)
+	out := newMatrix(8)
+	for qi := 0; qi < 2; qi++ {
+		for qj := 0; qj < 2; qj++ {
+			out.setQuadrant(qi, qj, a.quadrant(qi, qj))
+		}
+	}
+	for i := range a.data {
+		if out.data[i] != a.data[i] {
+			t.Fatalf("quadrant round-trip differs at %d", i)
+		}
+	}
+}
+
+func TestMatAddSub(t *testing.T) {
+	a, b := strassenInput(4)
+	s := matAdd(a, b)
+	d := matSub(s, b)
+	for i := range a.data {
+		if math.Abs(d.data[i]-a.data[i]) > 1e-12 {
+			t.Fatalf("(a+b)-b != a at %d", i)
+		}
+	}
+}
+
+func TestStrassenAtAccessors(t *testing.T) {
+	m := newMatrix(3)
+	m.set(1, 2, 7.5)
+	if m.at(1, 2) != 7.5 || m.at(0, 0) != 0 {
+		t.Fatal("at/set broken")
+	}
+}
+
+func TestStrassenGraphSevenAry(t *testing.T) {
+	g := strassenGraph(Test) // 2 levels: 1 + 7 + 49 nodes
+	if got := g.Stats().Tasks; got != 57 {
+		t.Fatalf("graph tasks = %d want 57", got)
+	}
+}

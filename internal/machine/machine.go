@@ -1,0 +1,237 @@
+// Package machine models the execution platform the simulator (package
+// sim) schedules on: core/socket topology, clock, memory system and the
+// calibrated cost parameters of the two runtime models. The shipped
+// IvyBridge preset describes the paper's test node (Table III: dual
+// socket Intel Ivy Bridge E5-2670 v2, 2×10 cores, 2.50/2.80 GHz, 64-byte
+// cache lines, 128 GiB RAM).
+package machine
+
+import "fmt"
+
+// Machine describes one node.
+type Machine struct {
+	// Name labels the platform in reports.
+	Name string
+	// Sockets and CoresPerSocket give the topology; the paper's strong
+	// scaling fills socket 0 first, so runs with more than CoresPerSocket
+	// cores span the socket boundary.
+	Sockets        int
+	CoresPerSocket int
+	// ClockGHz is the nominal core frequency.
+	ClockGHz float64
+	// CacheLineBytes is the coherence granule; off-core request counters
+	// convert to bytes with this factor (the paper multiplies counts by
+	// 64).
+	CacheLineBytes int64
+	// RAMBytes is installed memory.
+	RAMBytes int64
+
+	// SocketBandwidth is the sustainable off-core bandwidth of one
+	// socket's memory controllers in bytes/second. Total capacity grows
+	// with the number of sockets in use.
+	SocketBandwidth float64
+	// CrossSocketPenalty stretches memory-bound work once the active
+	// cores span sockets (remote-NUMA latency and coherence traffic).
+	// 0.25 means up to +25% on fully memory-bound work.
+	CrossSocketPenalty float64
+	// RemoteBandwidthFraction is the extra bandwidth the second socket
+	// contributes. The benchmarks allocate on socket 0 (first touch), so
+	// cores on socket 1 reach memory through the interconnect: capacity
+	// grows by only this fraction of a socket's bandwidth per extra
+	// socket, not by a full socket.
+	RemoteBandwidthFraction float64
+
+	// HPX scheduler cost model.
+	//
+	// HPXTaskOverheadNs is the base cost of scheduling one lightweight
+	// task (enqueue, dequeue, context setup). The paper measures
+	// 500–1000 ns on its platform.
+	HPXTaskOverheadNs float64
+	// HPXStealContention adds overhead per additional active core
+	// (queue polling and steal attempts): overhead grows by this factor
+	// times (cores-1).
+	HPXStealContention float64
+	// HPXCrossSocketOverhead multiplies task overhead once cores span
+	// sockets (steals traverse the interconnect).
+	HPXCrossSocketOverhead float64
+	// HPXLocalContentionNs is the per-task execution-time inflation per
+	// additional core on the same socket (cache and queue pressure from
+	// concurrent fine-grained scheduling) — the paper's observed growth
+	// of the /threads/time/average counter with core count.
+	HPXLocalContentionNs float64
+	// HPXRemoteContentionNs is the much larger per-task inflation per
+	// core beyond the socket boundary (remote caches, interconnect
+	// coherence). This is what turns the very fine-grained benchmarks'
+	// scaling curves upward past 10 cores (Figures 5, 6, 11, 12).
+	HPXRemoteContentionNs float64
+
+	// std::async (pthread-per-task) cost model.
+	//
+	// StdThreadCreateNs is pthread create+join cost paid in the spawning
+	// thread.
+	StdThreadCreateNs float64
+	// StdCreateContention grows creation cost with the number of live
+	// threads (kernel run-queue and allocator lock contention), per
+	// 1000 live threads.
+	StdCreateContention float64
+	// StdOversubscription stretches running work when more threads than
+	// cores are runnable (context-switch and cache-pollution cost), per
+	// unit of log2 oversubscription.
+	StdOversubscription float64
+	// StdStackBytes is the per-thread stack reservation.
+	StdStackBytes int64
+	// StdThreadCeiling is the number of live threads at which creation
+	// fails (address space / kernel limits). The paper observes failures
+	// at 80k–97k live pthreads.
+	StdThreadCeiling int64
+}
+
+// IvyBridge returns the paper's test platform (Table III) with cost
+// parameters calibrated to the paper's measurements (Table V task
+// overheads, Figures 8–14 shapes).
+func IvyBridge() Machine {
+	return Machine{
+		Name:           "Intel Ivy Bridge E5-2670v2 (2 x 10 cores)",
+		Sockets:        2,
+		CoresPerSocket: 10,
+		ClockGHz:       2.8,
+		CacheLineBytes: 64,
+		RAMBytes:       128 << 30,
+
+		SocketBandwidth:         40e9, // sustainable stream-like bytes/s per socket
+		CrossSocketPenalty:      0.35,
+		RemoteBandwidthFraction: 0.30,
+
+		HPXTaskOverheadNs:      550,
+		HPXStealContention:     0.025,
+		HPXCrossSocketOverhead: 1.6,
+		HPXLocalContentionNs:   70,
+		HPXRemoteContentionNs:  450,
+
+		StdThreadCreateNs:   17000,
+		StdCreateContention: 0.08,
+		StdOversubscription: 0.01,
+		StdStackBytes:       8 << 20,
+		StdThreadCeiling:    90000,
+	}
+}
+
+// EpycRome returns a forward-looking platform: a dual-socket 2×32-core
+// AMD Rome-class node with far more memory bandwidth and cores than the
+// paper's testbed. Running the suite on it shows how the paper's
+// granularity thresholds shift on a machine where the socket boundary
+// sits at 32 cores: the very fine benchmarks gain headroom, the
+// bandwidth-bound ones saturate later.
+func EpycRome() Machine {
+	return Machine{
+		Name:           "AMD EPYC Rome-class (2 x 32 cores)",
+		Sockets:        2,
+		CoresPerSocket: 32,
+		ClockGHz:       2.5,
+		CacheLineBytes: 64,
+		RAMBytes:       512 << 30,
+
+		SocketBandwidth:         120e9,
+		CrossSocketPenalty:      0.25,
+		RemoteBandwidthFraction: 0.45,
+
+		HPXTaskOverheadNs:      350,
+		HPXStealContention:     0.012,
+		HPXCrossSocketOverhead: 1.4,
+		HPXLocalContentionNs:   35,
+		HPXRemoteContentionNs:  220,
+
+		StdThreadCreateNs:   12000,
+		StdCreateContention: 0.08,
+		StdOversubscription: 0.01,
+		StdStackBytes:       8 << 20,
+		StdThreadCeiling:    350000,
+	}
+}
+
+// Presets maps the machine names accepted on command lines.
+func Presets() map[string]Machine {
+	return map[string]Machine{
+		"ivybridge": IvyBridge(),
+		"epyc":      EpycRome(),
+	}
+}
+
+// TotalCores returns Sockets*CoresPerSocket.
+func (m Machine) TotalCores() int { return m.Sockets * m.CoresPerSocket }
+
+// SocketsUsed returns how many sockets a run on the given number of
+// cores touches under fill-first-socket pinning (the paper's affinity).
+func (m Machine) SocketsUsed(cores int) int {
+	if cores <= 0 {
+		return 0
+	}
+	s := (cores + m.CoresPerSocket - 1) / m.CoresPerSocket
+	if s > m.Sockets {
+		s = m.Sockets
+	}
+	return s
+}
+
+// SpansSockets reports whether the given core count crosses the socket
+// boundary.
+func (m Machine) SpansSockets(cores int) bool { return m.SocketsUsed(cores) > 1 }
+
+// BandwidthCapacity returns the off-core bandwidth available to a run on
+// the given number of cores, in bytes/second. Memory is first-touch
+// allocated on socket 0, so extra sockets add only RemoteBandwidthFraction
+// of a socket's bandwidth each (interconnect-limited remote access).
+func (m Machine) BandwidthCapacity(cores int) float64 {
+	extra := float64(m.SocketsUsed(cores) - 1)
+	return m.SocketBandwidth * (1 + extra*m.RemoteBandwidthFraction)
+}
+
+// HPXOverheadNs returns the modelled per-task scheduling overhead of the
+// lightweight runtime at the given concurrency.
+func (m Machine) HPXOverheadNs(cores int) float64 {
+	oh := m.HPXTaskOverheadNs * (1 + m.HPXStealContention*float64(cores-1))
+	if m.SpansSockets(cores) {
+		oh *= m.HPXCrossSocketOverhead
+	}
+	return oh
+}
+
+// HPXContentionNs returns the per-task execution-time inflation at the
+// given concurrency: a local term per same-socket core plus a steeper
+// remote term per core beyond the socket boundary.
+func (m Machine) HPXContentionNs(cores int) float64 {
+	local := cores
+	if local > m.CoresPerSocket {
+		local = m.CoresPerSocket
+	}
+	c := m.HPXLocalContentionNs * float64(local-1)
+	if cores > m.CoresPerSocket {
+		c += m.HPXRemoteContentionNs * float64(cores-m.CoresPerSocket)
+	}
+	return c
+}
+
+// StdCreateNs returns the modelled pthread creation cost with the given
+// number of threads already live.
+func (m Machine) StdCreateNs(live int64) float64 {
+	return m.StdThreadCreateNs * (1 + m.StdCreateContention*float64(live)/1000)
+}
+
+// Validate reports configuration errors.
+func (m Machine) Validate() error {
+	switch {
+	case m.Sockets <= 0 || m.CoresPerSocket <= 0:
+		return fmt.Errorf("machine: topology %dx%d invalid", m.Sockets, m.CoresPerSocket)
+	case m.SocketBandwidth <= 0:
+		return fmt.Errorf("machine: socket bandwidth %v invalid", m.SocketBandwidth)
+	case m.CacheLineBytes <= 0:
+		return fmt.Errorf("machine: cache line %d invalid", m.CacheLineBytes)
+	}
+	return nil
+}
+
+// String summarises the platform.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s: %d sockets x %d cores @ %.2f GHz, %d GiB RAM",
+		m.Name, m.Sockets, m.CoresPerSocket, m.ClockGHz, m.RAMBytes>>30)
+}

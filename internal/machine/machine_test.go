@@ -1,0 +1,142 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIvyBridgePreset(t *testing.T) {
+	m := IvyBridge()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.TotalCores() != 20 {
+		t.Fatalf("TotalCores = %d", m.TotalCores())
+	}
+	if m.CacheLineBytes != 64 {
+		t.Fatalf("cache line = %d", m.CacheLineBytes)
+	}
+	ceiling := m.StdThreadCeiling
+	if ceiling < 80000 || ceiling > 97000 {
+		t.Fatalf("thread ceiling %d outside the paper's observed 80k–97k", ceiling)
+	}
+	oh1 := m.HPXOverheadNs(1)
+	if oh1 < 500 || oh1 > 1000 {
+		t.Fatalf("1-core HPX overhead %v ns outside the paper's 0.5–1 µs", oh1)
+	}
+	if !strings.Contains(m.String(), "2 sockets x 10 cores") {
+		t.Fatalf("String() = %q", m.String())
+	}
+}
+
+func TestSocketsUsed(t *testing.T) {
+	m := IvyBridge()
+	cases := map[int]int{0: 0, 1: 1, 10: 1, 11: 2, 20: 2, 25: 2}
+	for cores, want := range cases {
+		if got := m.SocketsUsed(cores); got != want {
+			t.Errorf("SocketsUsed(%d) = %d want %d", cores, got, want)
+		}
+	}
+	if m.SpansSockets(10) || !m.SpansSockets(11) {
+		t.Error("SpansSockets boundary wrong")
+	}
+}
+
+func TestBandwidthCapacityFirstTouch(t *testing.T) {
+	m := IvyBridge()
+	one := m.BandwidthCapacity(10)
+	two := m.BandwidthCapacity(20)
+	if one != m.SocketBandwidth {
+		t.Fatalf("single-socket capacity = %v", one)
+	}
+	// The second socket adds only the interconnect-limited remote
+	// fraction, not a full socket.
+	if two <= one || two >= 2*one {
+		t.Fatalf("dual-socket capacity = %v (one = %v)", two, one)
+	}
+}
+
+func TestHPXOverheadGrowsWithCores(t *testing.T) {
+	m := IvyBridge()
+	prev := 0.0
+	for _, k := range []int{1, 5, 10, 11, 20} {
+		oh := m.HPXOverheadNs(k)
+		if oh <= prev {
+			t.Fatalf("overhead not monotone at %d cores: %v <= %v", k, oh, prev)
+		}
+		prev = oh
+	}
+	// Crossing the socket boundary jumps.
+	if m.HPXOverheadNs(11) < 1.4*m.HPXOverheadNs(10) {
+		t.Fatal("no socket-boundary overhead jump")
+	}
+}
+
+func TestHPXContentionShape(t *testing.T) {
+	m := IvyBridge()
+	if m.HPXContentionNs(1) != 0 {
+		t.Fatal("1-core contention nonzero")
+	}
+	within := m.HPXContentionNs(10)
+	beyond := m.HPXContentionNs(11) - within
+	perLocal := within / 9
+	if beyond <= perLocal {
+		t.Fatalf("remote contention per core (%v) not steeper than local (%v)", beyond, perLocal)
+	}
+	if m.HPXContentionNs(20) <= m.HPXContentionNs(11) {
+		t.Fatal("contention not monotone past the socket boundary")
+	}
+}
+
+func TestStdCreateContention(t *testing.T) {
+	m := IvyBridge()
+	if m.StdCreateNs(0) != m.StdThreadCreateNs {
+		t.Fatal("creation cost at 0 live threads")
+	}
+	if m.StdCreateNs(50000) <= m.StdCreateNs(100) {
+		t.Fatal("creation cost does not grow with live threads")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := IvyBridge()
+	bad.Sockets = 0
+	if bad.Validate() == nil {
+		t.Error("zero sockets accepted")
+	}
+	bad = IvyBridge()
+	bad.SocketBandwidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	bad = IvyBridge()
+	bad.CacheLineBytes = 0
+	if bad.Validate() == nil {
+		t.Error("zero cache line accepted")
+	}
+}
+
+func TestEpycPreset(t *testing.T) {
+	m := EpycRome()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCores() != 64 {
+		t.Fatalf("cores = %d", m.TotalCores())
+	}
+	if !m.SpansSockets(33) || m.SpansSockets(32) {
+		t.Fatal("socket boundary wrong")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	p := Presets()
+	if len(p) != 2 {
+		t.Fatalf("presets = %v", p)
+	}
+	for name, m := range p {
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+	}
+}

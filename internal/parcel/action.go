@@ -1,0 +1,161 @@
+package parcel
+
+// Remote actions: the parcel layer's second job besides counter access.
+// HPX applications invoke registered functions ("plain actions") on any
+// locality with the same syntax as local calls; here a server exposes
+// named actions whose JSON-encoded argument and result travel in
+// parcels, and the client side wraps the invocation in a future-shaped
+// call. Together with the counter plumbing this gives the paper's
+// "unified API for both parallel and distributed applications": spawn
+// locally on taskrt, or on another locality through InvokeAsync, and
+// observe both through the same counters.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// ActionFunc is a registered remote entry point: JSON argument in, JSON
+// result out.
+type ActionFunc func(arg json.RawMessage) (any, error)
+
+// ActionMap holds a server's registered actions. Safe for concurrent
+// registration and dispatch.
+type ActionMap struct {
+	mu      sync.RWMutex
+	actions map[string]ActionFunc
+}
+
+// NewActionMap creates an empty action table.
+func NewActionMap() *ActionMap {
+	return &ActionMap{actions: make(map[string]ActionFunc)}
+}
+
+// Register binds a name to a function; duplicate names error.
+func (m *ActionMap) Register(name string, fn ActionFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("parcel: invalid action registration %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.actions[name]; dup {
+		return fmt.Errorf("parcel: action %q already registered", name)
+	}
+	m.actions[name] = fn
+	return nil
+}
+
+// RegisterAction adapts a typed Go function into an action: the
+// argument is decoded from JSON into A, the result encoded from R.
+func RegisterAction[A, R any](m *ActionMap, name string, fn func(A) (R, error)) error {
+	return m.Register(name, func(raw json.RawMessage) (any, error) {
+		var arg A
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &arg); err != nil {
+				return nil, fmt.Errorf("parcel: action %q argument: %w", name, err)
+			}
+		}
+		return fn(arg)
+	})
+}
+
+// Names lists the registered action names.
+func (m *ActionMap) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.actions))
+	for n := range m.actions {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (m *ActionMap) lookup(name string) ActionFunc {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.actions[name]
+}
+
+// WithActions attaches an action table to a server (call before clients
+// invoke; typically right after Serve).
+func (s *Server) WithActions(m *ActionMap) *Server {
+	s.actions.Store(m)
+	return s
+}
+
+// invoke dispatches one action request on the server.
+func (s *Server) invoke(req request) response {
+	m, _ := s.actions.Load().(*ActionMap)
+	if m == nil {
+		return response{Error: "parcel: this server exposes no actions"}
+	}
+	fn := m.lookup(req.Action)
+	if fn == nil {
+		return response{Error: fmt.Sprintf("parcel: unknown action %q (have %v)", req.Action, m.Names())}
+	}
+	result, err := fn(req.Arg)
+	if err != nil {
+		return response{Error: err.Error()}
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return response{Error: "parcel: action result marshal: " + err.Error()}
+	}
+	return response{Result: raw}
+}
+
+// Invoke calls a remote action synchronously, decoding the result into
+// out (pass nil to discard it).
+func (c *Client) Invoke(action string, arg any, out any) error {
+	var raw json.RawMessage
+	if arg != nil {
+		b, err := json.Marshal(arg)
+		if err != nil {
+			return fmt.Errorf("parcel: action %q argument marshal: %w", action, err)
+		}
+		raw = b
+	}
+	resp, err := c.roundTrip(request{Op: "invoke", Action: action, Arg: raw})
+	if err != nil {
+		return err
+	}
+	if out != nil && len(resp.Result) > 0 {
+		return json.Unmarshal(resp.Result, out)
+	}
+	return nil
+}
+
+// RemoteFuture carries an in-flight remote invocation.
+type RemoteFuture[R any] struct {
+	done  chan struct{}
+	value R
+	err   error
+}
+
+// Get waits for the remote result.
+func (f *RemoteFuture[R]) Get() (R, error) {
+	<-f.done
+	return f.value, f.err
+}
+
+// Ready reports whether Get would not block.
+func (f *RemoteFuture[R]) Ready() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// InvokeAsync launches a remote action and returns immediately with a
+// future — the distributed analogue of taskrt's Async.
+func InvokeAsync[A, R any](c *Client, action string, arg A) *RemoteFuture[R] {
+	f := &RemoteFuture[R]{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		f.err = c.Invoke(action, arg, &f.value)
+	}()
+	return f
+}

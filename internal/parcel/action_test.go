@@ -1,0 +1,183 @@
+package parcel
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fibArg/fibRes exercise typed action marshalling.
+type fibArg struct {
+	N int `json:"n"`
+}
+type fibRes struct {
+	Value int64 `json:"value"`
+}
+
+func fibPlain(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fibPlain(n-1) + fibPlain(n-2)
+}
+
+func newActionFixture(t *testing.T) (*ActionMap, *Client) {
+	t.Helper()
+	reg := core.NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	actions := NewActionMap()
+	srv.WithActions(actions)
+	cli, err := Dial(srv.Addr(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return actions, cli
+}
+
+func TestInvokeTypedAction(t *testing.T) {
+	actions, cli := newActionFixture(t)
+	err := RegisterAction(actions, "fib", func(a fibArg) (fibRes, error) {
+		return fibRes{Value: fibPlain(a.N)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res fibRes
+	if err := cli.Invoke("fib", fibArg{N: 20}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 6765 {
+		t.Fatalf("remote fib(20) = %d", res.Value)
+	}
+}
+
+func TestInvokeAsyncFuture(t *testing.T) {
+	actions, cli := newActionFixture(t)
+	if err := RegisterAction(actions, "square", func(n int) (int, error) {
+		return n * n, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fs := make([]*RemoteFuture[int], 8)
+	for i := range fs {
+		fs[i] = InvokeAsync[int, int](cli, "square", i)
+	}
+	for i, f := range fs {
+		v, err := f.Get()
+		if err != nil || v != i*i {
+			t.Fatalf("square(%d) = %d, %v", i, v, err)
+		}
+		if !f.Ready() {
+			t.Fatal("not ready after Get")
+		}
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	actions, cli := newActionFixture(t)
+	if err := RegisterAction(actions, "fail", func(struct{}) (int, error) {
+		return 0, fmt.Errorf("deliberate failure")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Invoke("fail", struct{}{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("action error not propagated: %v", err)
+	}
+	if err := cli.Invoke("nope", nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown action") {
+		t.Fatalf("unknown action: %v", err)
+	}
+	// Malformed argument JSON reaches the decoder as a type error.
+	if err := cli.Invoke("fail", "not-a-struct", nil); err == nil {
+		t.Fatal("type-mismatched argument accepted")
+	}
+}
+
+func TestInvokeWithoutActionTable(t *testing.T) {
+	reg := core.NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Invoke("anything", nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "no actions") {
+		t.Fatalf("invoke on action-less server: %v", err)
+	}
+}
+
+func TestActionRegistration(t *testing.T) {
+	m := NewActionMap()
+	if err := m.Register("", func(json.RawMessage) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := m.Register("x", nil); err == nil {
+		t.Fatal("nil function accepted")
+	}
+	if err := m.Register("x", func(json.RawMessage) (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("x", func(json.RawMessage) (any, error) { return 2, nil }); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if names := m.Names(); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	actions, cli := newActionFixture(t)
+	if err := RegisterAction(actions, "echo", func(s string) (string, error) {
+		return s, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("msg-%d", i)
+			var got string
+			if err := cli.Invoke("echo", want, &got); err != nil || got != want {
+				t.Errorf("echo: %q, %v", got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestServerSurvivesGarbage(t *testing.T) {
+	// A malformed request line yields an error response, not a dead
+	// server.
+	_, cli := newActionFixture(t)
+	cli.mu.Lock()
+	if _, err := cli.conn.Write([]byte("this is not json\n")); err != nil {
+		cli.mu.Unlock()
+		t.Fatal(err)
+	}
+	line, err := cli.rd.ReadBytes('\n')
+	cli.mu.Unlock()
+	if err != nil || !strings.Contains(string(line), "malformed") {
+		t.Fatalf("garbage handling: %q %v", line, err)
+	}
+	// The connection keeps working.
+	if _, err := cli.Types(); err != nil {
+		t.Fatalf("connection dead after garbage: %v", err)
+	}
+}

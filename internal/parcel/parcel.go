@@ -1,0 +1,356 @@
+// Package parcel is the network transport of the reproduction: a small
+// TCP protocol (newline-delimited JSON parcels) that lets one process
+// query the performance counters of another — the paper's remote
+// counter access and the transport a distributed monitor (cmd/perfmon)
+// attaches through.
+//
+// Parcel traffic is itself counted: both ends expose
+// /parcels{locality#L/total}/count/{sent,received} and
+// /parcels{locality#L/total}/data/{sent,received} counters, mirroring
+// HPX's parcelport counter group.
+package parcel
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// request is one parcel from client to server.
+type request struct {
+	Op      string          `json:"op"` // "evaluate", "evaluate_active", "discover", "types", "reset_active", "add_active", "invoke"
+	Name    string          `json:"name,omitempty"`
+	Pattern string          `json:"pattern,omitempty"`
+	Reset   bool            `json:"reset,omitempty"`
+	Action  string          `json:"action,omitempty"`
+	Arg     json.RawMessage `json:"arg,omitempty"`
+}
+
+// response is one parcel from server to client.
+type response struct {
+	Error  string          `json:"error,omitempty"`
+	Value  *core.Value     `json:"value,omitempty"`
+	Values []core.Value    `json:"values,omitempty"`
+	Names  []string        `json:"names,omitempty"`
+	Infos  []core.Info     `json:"infos,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// meters counts parcels and bytes on one endpoint.
+type meters struct {
+	sent, received         *core.RawCounter
+	dataSent, dataReceived *core.RawCounter
+}
+
+func newMeters(reg *core.Registry, locality int64, register bool) (*meters, error) {
+	m := &meters{}
+	mk := func(counter, help, unit string) (*core.RawCounter, error) {
+		cn := core.Name{Object: "parcels", Counter: counter}.
+			WithInstances(core.LocalityInstance(locality, "total", -1)...)
+		c := core.NewRawCounter(cn, core.Info{
+			TypeName: "/parcels/" + counter, HelpText: help, Unit: unit, Version: "1.0",
+		})
+		if register {
+			if err := reg.Register(c); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+	var err error
+	if m.sent, err = mk("count/sent", "parcels sent", core.UnitEvents); err != nil {
+		return nil, err
+	}
+	if m.received, err = mk("count/received", "parcels received", core.UnitEvents); err != nil {
+		return nil, err
+	}
+	if m.dataSent, err = mk("data/sent", "parcel bytes sent", core.UnitBytes); err != nil {
+		return nil, err
+	}
+	if m.dataReceived, err = mk("data/received", "parcel bytes received", core.UnitBytes); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Server exposes a registry's counters over TCP.
+type Server struct {
+	reg      *core.Registry
+	listener net.Listener
+	meters   *meters
+	actions  atomic.Value // *ActionMap
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") exposing reg. The
+// server's parcel counters are registered into the same registry under
+// the given locality id, so they are remotely queryable themselves.
+func Serve(addr string, reg *core.Registry, locality int64) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMeters(reg, locality, true)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	s := &Server{reg: reg, listener: ln, meters: m, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the server and waits for connection handlers.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	wr := bufio.NewWriter(conn)
+	for {
+		line, err := rd.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		s.meters.received.Inc()
+		s.meters.dataReceived.Add(int64(len(line)))
+		var req request
+		var resp response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = "parcel: malformed request: " + err.Error()
+		} else {
+			resp = s.dispatch(req)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			out = []byte(`{"error":"parcel: response marshal failure"}`)
+		}
+		out = append(out, '\n')
+		if _, err := wr.Write(out); err != nil {
+			return
+		}
+		if err := wr.Flush(); err != nil {
+			return
+		}
+		s.meters.sent.Inc()
+		s.meters.dataSent.Add(int64(len(out)))
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	switch req.Op {
+	case "evaluate":
+		v, err := s.reg.Evaluate(req.Name, req.Reset)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Value: &v}
+	case "discover":
+		names, err := s.reg.Discover(req.Pattern)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = n.String()
+		}
+		return response{Names: out}
+	case "types":
+		return response{Infos: s.reg.Types()}
+	case "add_active":
+		added, err := s.reg.AddActive(req.Pattern)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Names: added}
+	case "evaluate_active":
+		return response{Values: s.reg.EvaluateActive(req.Reset)}
+	case "reset_active":
+		s.reg.ResetActive()
+		return response{}
+	case "invoke":
+		return s.invoke(req)
+	default:
+		return response{Error: fmt.Sprintf("parcel: unknown op %q", req.Op)}
+	}
+}
+
+// Client queries a remote registry. It is safe for concurrent use; each
+// request/response pair is serialised on the single connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	rd     *bufio.Reader
+	meters *meters
+}
+
+// Dial connects to a parcel server. Pass a registry and locality to
+// register the client's own parcel counters, or nil to skip.
+func Dial(addr string, reg *core.Registry, locality int64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var m *meters
+	if reg != nil {
+		if m, err = newMeters(reg, locality, true); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	} else {
+		if m, err = newMeters(nil, locality, false); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return &Client{conn: conn, rd: bufio.NewReader(conn), meters: m}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := json.Marshal(req)
+	if err != nil {
+		return response{}, err
+	}
+	out = append(out, '\n')
+	if _, err := c.conn.Write(out); err != nil {
+		return response{}, err
+	}
+	c.meters.sent.Inc()
+	c.meters.dataSent.Add(int64(len(out)))
+	line, err := c.rd.ReadBytes('\n')
+	if err != nil {
+		return response{}, err
+	}
+	c.meters.received.Inc()
+	c.meters.dataReceived.Add(int64(len(line)))
+	var resp response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return response{}, err
+	}
+	if resp.Error != "" {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Evaluate reads one remote counter, optionally resetting it.
+func (c *Client) Evaluate(name string, reset bool) (core.Value, error) {
+	resp, err := c.roundTrip(request{Op: "evaluate", Name: name, Reset: reset})
+	if err != nil {
+		return core.Value{Name: name, Status: core.StatusCounterUnknown}, err
+	}
+	if resp.Value == nil {
+		return core.Value{Name: name, Status: core.StatusInvalidData},
+			errors.New("parcel: empty evaluate response")
+	}
+	return *resp.Value, nil
+}
+
+// Discover expands a counter pattern remotely.
+func (c *Client) Discover(pattern string) ([]string, error) {
+	resp, err := c.roundTrip(request{Op: "discover", Pattern: pattern})
+	return resp.Names, err
+}
+
+// Types lists the remote registry's counter types.
+func (c *Client) Types() ([]core.Info, error) {
+	resp, err := c.roundTrip(request{Op: "types"})
+	return resp.Infos, err
+}
+
+// AddActive adds counters to the remote active set.
+func (c *Client) AddActive(pattern string) ([]string, error) {
+	resp, err := c.roundTrip(request{Op: "add_active", Pattern: pattern})
+	return resp.Names, err
+}
+
+// EvaluateActive evaluates the remote active set.
+func (c *Client) EvaluateActive(reset bool) ([]core.Value, error) {
+	resp, err := c.roundTrip(request{Op: "evaluate_active", Reset: reset})
+	return resp.Values, err
+}
+
+// ResetActive resets the remote active set.
+func (c *Client) ResetActive() error {
+	_, err := c.roundTrip(request{Op: "reset_active"})
+	return err
+}
+
+// RemoteCounter adapts one remote counter to the local core.Counter
+// interface, so meta counters and tooling can consume remote data
+// transparently — the uniformity the paper's framework is built on.
+type RemoteCounter struct {
+	client *Client
+	name   core.Name
+	info   core.Info
+}
+
+// NewRemoteCounter builds a counter proxy for a full remote name.
+func NewRemoteCounter(client *Client, fullName string) (*RemoteCounter, error) {
+	n, err := core.ParseName(fullName)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteCounter{
+		client: client,
+		name:   n,
+		info:   core.Info{TypeName: n.TypeName(), HelpText: "remote proxy for " + fullName},
+	}, nil
+}
+
+// Name implements core.Counter.
+func (r *RemoteCounter) Name() core.Name { return r.name }
+
+// Info implements core.Counter.
+func (r *RemoteCounter) Info() core.Info { return r.info }
+
+// Value implements core.Counter.
+func (r *RemoteCounter) Value(reset bool) core.Value {
+	v, err := r.client.Evaluate(r.name.String(), reset)
+	if err != nil {
+		return core.Value{Name: r.name.String(), Status: core.StatusInvalidData}
+	}
+	return v
+}
+
+// Reset implements core.Counter.
+func (r *RemoteCounter) Reset() { _, _ = r.client.Evaluate(r.name.String(), true) }

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"repro/internal/core"
+)
+
+// RegisterCounters exposes a completed run's metrics through the same
+// counter framework and names the live runtime uses — the design's
+// "one framework, two backends" property. Tools built on core.Registry
+// (the perfcli printer, remote monitors, meta counters) consume
+// simulated and real measurements identically.
+//
+// The locality id distinguishes multiple registered results in one
+// registry (e.g. one locality per core count of a sweep).
+func (r Result) RegisterCounters(reg *core.Registry, locality int64) error {
+	specs := []struct {
+		object, counter, help, unit string
+		value                       int64
+	}{
+		{"threads", "count/cumulative", "tasks executed (simulated)", core.UnitEvents, r.Tasks},
+		{"threads", "time/cumulative", "cumulative task time (simulated)", core.UnitNanoseconds, r.TaskTimeNs},
+		{"threads", "time/cumulative-overhead", "cumulative scheduling overhead (simulated)", core.UnitNanoseconds, r.OverheadNs},
+		{"threads", "time/idle", "cumulative idle core time (simulated)", core.UnitNanoseconds, r.IdleNs},
+		{"threads", "count/peak-live", "peak live tasks/threads (simulated)", core.UnitEvents, r.PeakLive},
+		{"runtime", "uptime", "makespan (simulated)", core.UnitNanoseconds, r.MakespanNs},
+	}
+	for _, s := range specs {
+		s := s
+		name := core.Name{Object: s.object, Counter: s.counter}.
+			WithInstances(core.LocalityInstance(locality, "total", -1)...)
+		info := core.Info{TypeName: "/" + s.object + "/" + s.counter,
+			HelpText: s.help, Unit: s.unit, Version: "1.0"}
+		if err := reg.Register(core.NewFuncCounter(name, info, 0,
+			func() int64 { return s.value }, nil)); err != nil {
+			return err
+		}
+	}
+	// Ratio counters reuse the live runtime's Value convention: sum in
+	// Raw, count in Scaling.
+	ratios := []struct {
+		counter, help string
+		num, den      int64
+	}{
+		{"time/average", "average task duration (simulated)", r.TaskTimeNs, r.Tasks},
+		{"time/average-overhead", "average per-task overhead (simulated)", r.OverheadNs, r.Tasks},
+	}
+	for _, s := range ratios {
+		s := s
+		name := core.Name{Object: "threads", Counter: s.counter}.
+			WithInstances(core.LocalityInstance(locality, "total", -1)...)
+		info := core.Info{TypeName: "/threads/" + s.counter, HelpText: s.help,
+			Unit: core.UnitNanoseconds, Version: "1.0"}
+		den := s.den
+		if den == 0 {
+			den = 1
+		}
+		num := s.num
+		if err := reg.Register(core.NewFuncCounter(name, info, den,
+			func() int64 { return num }, nil)); err != nil {
+			return err
+		}
+	}
+	// Idle rate in the live counter's 0.01% units.
+	idleName := core.Name{Object: "threads", Counter: "idle-rate"}.
+		WithInstances(core.LocalityInstance(locality, "total", -1)...)
+	idleInfo := core.Info{TypeName: "/threads/idle-rate",
+		HelpText: "idle core time over wall time (simulated)", Unit: "0.01%", Version: "1.0"}
+	idle := int64(r.IdleRate() * 10000)
+	return reg.Register(core.NewFuncCounter(idleName, idleInfo, 0,
+		func() int64 { return idle }, nil))
+}

@@ -1,0 +1,136 @@
+// Package sim is a discrete-event simulator of task-parallel execution on
+// a modelled machine (package machine). It executes fork/join task graphs
+// under two scheduler models — the lightweight work-queue runtime the
+// paper studies (HPX) and the thread-per-task std::async baseline — in
+// virtual time, and reports the same metrics the paper's performance
+// counters expose: task counts, cumulative and average task time,
+// scheduling overhead, idle time and off-core memory traffic.
+//
+// The simulator is the documented substitution (DESIGN.md §5) for the
+// paper's 20-core Ivy Bridge node: the build host cannot exhibit real
+// parallel speedup, but the studied effects are scheduling and contention
+// phenomena that the model reproduces in shape.
+//
+// The execution model is uniform-rate processor sharing in virtual time:
+// all concurrently running phases progress at the same rate, set by core
+// availability, memory-bandwidth saturation, socket-boundary penalties
+// and (for the baseline) oversubscription. Completion order within the
+// running set therefore depends only on remaining virtual work, which
+// lets one priority queue drive the whole simulation.
+package sim
+
+// Node is one task in a fork/join graph. Executing a node runs PreNs of
+// work, spawns the children, waits for them (the parent's worker is free
+// to run other tasks meanwhile under the HPX model, but the parent's
+// thread stays live under the std model), then runs PostNs of merge work.
+type Node struct {
+	// PreNs is compute before spawning children, in reference-core
+	// nanoseconds.
+	PreNs int64
+	// PostNs is compute after joining children.
+	PostNs int64
+	// PreBytes and PostBytes are the off-core memory traffic generated
+	// by the two phases.
+	PreBytes  int64
+	PostBytes int64
+	// Children are spawned after the pre phase completes.
+	Children []*Node
+	// Serial makes the children execute one after another (each child's
+	// whole subtree completes before the next child starts) instead of
+	// concurrently — the join-per-phase structure of loop-like
+	// benchmarks (SparseLU's elimination steps, Pyramids' time slabs).
+	Serial bool
+}
+
+// Leaf builds a childless node.
+func Leaf(workNs, bytes int64) *Node {
+	return &Node{PreNs: workNs, PreBytes: bytes}
+}
+
+// Graph is a rooted fork/join task graph.
+type Graph struct {
+	// Label names the workload in reports.
+	Label string
+	// Root is executed first.
+	Root *Node
+}
+
+// Stats summarises a graph's static properties.
+type Stats struct {
+	// Tasks is the number of nodes.
+	Tasks int64
+	// WorkNs is the total compute (the one-core execution time without
+	// overheads).
+	WorkNs int64
+	// Bytes is the total off-core traffic.
+	Bytes int64
+	// CriticalPathNs is the longest dependency chain, bounding speedup.
+	CriticalPathNs int64
+	// Depth is the deepest nesting level.
+	Depth int
+}
+
+// Stats computes the graph's static properties iteratively (graphs reach
+// millions of nodes, so no recursion).
+func (g *Graph) Stats() Stats {
+	var s Stats
+	if g.Root == nil {
+		return s
+	}
+	type frame struct {
+		n     *Node
+		depth int
+	}
+	// First pass: counts, sums, depth.
+	stack := []frame{{g.Root, 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s.Tasks++
+		s.WorkNs += f.n.PreNs + f.n.PostNs
+		s.Bytes += f.n.PreBytes + f.n.PostBytes
+		if f.depth > s.Depth {
+			s.Depth = f.depth
+		}
+		for _, c := range f.n.Children {
+			stack = append(stack, frame{c, f.depth + 1})
+		}
+	}
+	s.CriticalPathNs = criticalPath(g.Root)
+	return s
+}
+
+// criticalPath computes the longest dependency chain with an explicit
+// post-order traversal: pre -> max(child paths) -> post for concurrent
+// children, pre -> sum(child paths) -> post for serial ones.
+func criticalPath(root *Node) int64 {
+	type frame struct {
+		n       *Node
+		childIx int
+		acc     int64 // max (parallel) or sum (serial) of child paths
+	}
+	stack := []frame{{n: root}}
+	var result int64
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.childIx < len(f.n.Children) {
+			child := f.n.Children[f.childIx]
+			f.childIx++
+			stack = append(stack, frame{n: child})
+			continue
+		}
+		total := f.n.PreNs + f.acc + f.n.PostNs
+		stack = stack[:len(stack)-1]
+		if len(stack) == 0 {
+			result = total
+			break
+		}
+		parent := &stack[len(stack)-1]
+		if parent.n.Serial {
+			parent.acc += total
+		} else if total > parent.acc {
+			parent.acc = total
+		}
+	}
+	return result
+}

@@ -1,0 +1,89 @@
+// Package stats implements the paper's measurement protocol: repeated
+// samples per experiment with medians reported (the paper takes 20
+// samples and presents medians of execution times and counter values).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a set of samples.
+type Summary struct {
+	// N is the sample count.
+	N int
+	// Median is the reported statistic (the paper's choice).
+	Median float64
+	// Mean, Min, Max and Stddev complete the picture.
+	Mean   float64
+	Min    float64
+	Max    float64
+	Stddev float64
+	// Q1 and Q3 are the quartiles.
+	Q1 float64
+	Q3 float64
+}
+
+// Summarize computes a Summary of the samples. An empty input yields the
+// zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	var ss float64
+	for _, v := range s {
+		d := v - mean
+		ss += d * d
+	}
+	return Summary{
+		N:      len(s),
+		Median: quantile(s, 0.5),
+		Mean:   mean,
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Stddev: math.Sqrt(ss / float64(len(s))),
+		Q1:     quantile(s, 0.25),
+		Q3:     quantile(s, 0.75),
+	}
+}
+
+// quantile interpolates the q-quantile of sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Repeat runs f n times and summarises the returned values — the
+// paper's 20-samples-then-median protocol is Repeat(20, run).
+func Repeat(n int, f func() float64) Summary {
+	if n <= 0 {
+		return Summary{}
+	}
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = f()
+	}
+	return Summarize(samples)
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("median %.4g (n=%d, mean %.4g, min %.4g, max %.4g, stddev %.3g)",
+		s.Median, s.N, s.Mean, s.Min, s.Max, s.Stddev)
+}

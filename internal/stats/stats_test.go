@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3})
+	if s.N != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Stddev != math.Sqrt(8.0/3.0) {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s.Q1 != 1.75 || s.Q3 != 3.25 {
+		t.Fatalf("quartiles = %v %v", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if Summarize(nil) != (Summary{}) {
+		t.Fatal("nil input not zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.Min != 7 || one.Max != 7 || one.Stddev != 0 {
+		t.Fatalf("single sample = %+v", one)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if !reflect.DeepEqual(in, []float64{3, 1, 2}) {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	i := 0.0
+	s := Repeat(20, func() float64 { i++; return i })
+	if s.N != 20 || s.Median != 10.5 || s.Min != 1 || s.Max != 20 {
+		t.Fatalf("repeat summary = %+v", s)
+	}
+	if Repeat(0, func() float64 { return 1 }) != (Summary{}) {
+		t.Fatal("Repeat(0) not zero")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "median 2") || !strings.Contains(str, "n=3") {
+		t.Fatalf("String() = %q", str)
+	}
+}
+
+// TestMedianPropertyQuick: the median is always within [min, max] and at
+// least half the samples lie on each side.
+func TestMedianPropertyQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(50)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = r.Float64() * 1000
+			}
+			args[0] = reflect.ValueOf(xs)
+		},
+	}
+	prop := func(xs []float64) bool {
+		s := Summarize(xs)
+		if s.Median < s.Min || s.Median > s.Max {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		var below, above int
+		for _, x := range sorted {
+			if x <= s.Median {
+				below++
+			}
+			if x >= s.Median {
+				above++
+			}
+		}
+		return below*2 >= len(xs) && above*2 >= len(xs)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package stdrt reproduces the execution model of GCC's std::async that
+// the paper uses as its baseline: one operating-system thread per task,
+// created at launch and destroyed at completion, with kernel-mediated
+// scheduling and an 8 MiB stack reservation per thread.
+//
+// On this reproduction's host the model is realised with one goroutine
+// per task plus a calibrated cost model (see Model): a configurable
+// thread-creation delay is spun at launch, every live task accounts a
+// virtual stack reservation, and when the reserved virtual memory exceeds
+// the model's address-space budget the runtime fails the launch — exactly
+// the failure mode the paper observes for NQueens, Health, Fib and UTS,
+// where 80k–97k live pthreads exhaust the machine before the benchmark
+// completes. The substitution is documented in DESIGN.md §5.
+package stdrt
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Model is the pthread cost model applied to every task launch.
+type Model struct {
+	// RealOSThreads pins every task's goroutine to a dedicated OS
+	// thread (runtime.LockOSThread), making the baseline a true
+	// thread-per-task runtime on real hosts. The Go runtime then
+	// creates and destroys one kernel thread per task, reproducing the
+	// GCC std::async behaviour physically rather than analytically.
+	// Off by default: with fine-grained benchmarks this is exactly as
+	// catastrophic as the paper describes.
+	RealOSThreads bool
+	// CreateCost is the thread creation+destruction cost spun on the
+	// launching goroutine (pthread_create + kernel bookkeeping). The
+	// paper's platform measures 10–25 µs per create at scale.
+	CreateCost time.Duration
+	// StackBytes is the virtual-memory reservation per live thread
+	// (glibc default: 8 MiB).
+	StackBytes int64
+	// MemoryLimit is the address-space budget; launches that would
+	// exceed it fail with ErrResourcesExhausted. The paper's node has
+	// 128 GiB RAM; with kernel and allocator overheads ≈ 90k live
+	// 8 MiB-stacked threads are the observed ceiling.
+	MemoryLimit int64
+}
+
+// DefaultModel matches the paper's test platform.
+func DefaultModel() Model {
+	return Model{
+		CreateCost:  0, // real spin disabled by default; the simulator applies virtual cost
+		StackBytes:  8 << 20,
+		MemoryLimit: 90000 * (8 << 20),
+	}
+}
+
+// ErrResourcesExhausted is the failure std::async surfaces (as
+// std::system_error) when no further thread can be created.
+var ErrResourcesExhausted = errors.New("stdrt: resource temporarily unavailable (thread limit)")
+
+// Runtime is the thread-per-task runtime.
+type Runtime struct {
+	model    Model
+	locality int64
+
+	live     atomic.Int64
+	peak     atomic.Int64
+	launched atomic.Int64
+	failed   atomic.Int64
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithModel overrides the pthread cost model.
+func WithModel(m Model) Option {
+	return func(rt *Runtime) { rt.model = m }
+}
+
+// WithLocality sets the locality id used in counter instance names.
+func WithLocality(id int64) Option {
+	return func(rt *Runtime) { rt.locality = id }
+}
+
+// New creates a runtime with the default model.
+func New(opts ...Option) *Runtime {
+	rt := &Runtime{model: DefaultModel()}
+	for _, o := range opts {
+		o(rt)
+	}
+	return rt
+}
+
+// Future holds the result of one thread-backed task.
+type Future[T any] struct {
+	done  chan struct{}
+	value T
+	err   error
+	panic any
+}
+
+// Spawn launches fn on its own "thread". A nil error return means the
+// thread was created; the returned future's Get re-raises task panics and
+// returns ErrResourcesExhausted errors recorded at launch.
+func Spawn[T any](rt *Runtime, fn func() T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	// Account the stack reservation before the thread exists, as the
+	// kernel would.
+	reserved := rt.live.Add(1) * rt.model.StackBytes
+	if rt.model.MemoryLimit > 0 && reserved > rt.model.MemoryLimit {
+		rt.live.Add(-1)
+		rt.failed.Add(1)
+		f.err = fmt.Errorf("%w: %d live threads reserve %d bytes",
+			ErrResourcesExhausted, rt.live.Load(), reserved)
+		close(f.done)
+		return f
+	}
+	rt.launched.Add(1)
+	for {
+		p := rt.peak.Load()
+		cur := rt.live.Load()
+		if cur <= p || rt.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	if rt.model.CreateCost > 0 {
+		spin(rt.model.CreateCost)
+	}
+	go func() {
+		if rt.model.RealOSThreads {
+			// Dedicate a kernel thread to this task. Exiting the
+			// goroutine while locked destroys the thread, completing
+			// the create-execute-destroy lifecycle of GCC's std::async.
+			runtime.LockOSThread()
+		}
+		defer func() {
+			rt.live.Add(-1)
+			if r := recover(); r != nil {
+				f.panic = r
+			}
+			close(f.done)
+		}()
+		f.value = fn()
+	}()
+	return f
+}
+
+// Get waits for the task and returns its value. It re-raises task panics;
+// a launch failure panics with the recorded error, matching the
+// std::system_error abort the paper's baseline exhibits.
+func (f *Future[T]) Get() T {
+	<-f.done
+	if f.err != nil {
+		panic(f.err)
+	}
+	if f.panic != nil {
+		panic(f.panic)
+	}
+	return f.value
+}
+
+// Err returns the launch error, if any, without waiting.
+func (f *Future[T]) Err() error {
+	select {
+	case <-f.done:
+		return f.err
+	default:
+		return nil
+	}
+}
+
+// Wait blocks until completion or launch failure.
+func (f *Future[T]) Wait() { <-f.done }
+
+// Ready reports whether Get would not block.
+func (f *Future[T]) Ready() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Live returns the number of currently live task threads.
+func (rt *Runtime) Live() int64 { return rt.live.Load() }
+
+// Peak returns the high-water mark of live threads.
+func (rt *Runtime) Peak() int64 { return rt.peak.Load() }
+
+// Launched returns the cumulative number of threads created.
+func (rt *Runtime) Launched() int64 { return rt.launched.Load() }
+
+// Failed returns the number of launches rejected for resource exhaustion.
+func (rt *Runtime) Failed() int64 { return rt.failed.Load() }
+
+// Model returns the active cost model.
+func (rt *Runtime) Model() Model { return rt.model }
+
+// RegisterCounters exposes the baseline's thread statistics through the
+// same counter framework, under the /stdthreads object:
+//
+//	/stdthreads{locality#L/total}/count/live
+//	/stdthreads{locality#L/total}/count/peak
+//	/stdthreads{locality#L/total}/count/launched
+//	/stdthreads{locality#L/total}/count/failed
+//	/stdthreads{locality#L/total}/memory/stack-reserved
+func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
+	specs := []struct {
+		counter, help, unit string
+		read                func() int64
+		reset               func()
+	}{
+		{"count/live", "live task threads", core.UnitEvents, rt.Live, nil},
+		{"count/peak", "peak live task threads", core.UnitEvents, rt.Peak,
+			func() { rt.peak.Store(rt.live.Load()) }},
+		{"count/launched", "cumulative threads created", core.UnitEvents, rt.Launched,
+			func() { rt.launched.Store(0) }},
+		{"count/failed", "launches rejected for resource exhaustion", core.UnitEvents, rt.Failed,
+			func() { rt.failed.Store(0) }},
+		{"memory/stack-reserved", "virtual memory reserved for thread stacks", core.UnitBytes,
+			func() int64 { return rt.live.Load() * rt.model.StackBytes }, nil},
+	}
+	for _, s := range specs {
+		name := core.Name{Object: "stdthreads", Counter: s.counter}.
+			WithInstances(core.LocalityInstance(rt.locality, "total", -1)...)
+		info := core.Info{TypeName: "/stdthreads/" + s.counter, HelpText: s.help,
+			Unit: s.unit, Version: "1.0"}
+		if err := reg.Register(core.NewFuncCounter(name, info, 0, s.read, s.reset)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spin busy-waits for d, modelling CPU cost that sleep would hide.
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

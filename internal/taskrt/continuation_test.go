@@ -1,0 +1,83 @@
+package taskrt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestThenChains(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	a := AsyncF(rt, func() int { return 21 })
+	b := Then(a, Async, func(v int) int { return v * 2 })
+	c := Then(b, Async, func(v int) string {
+		if v == 42 {
+			return "ok"
+		}
+		return "bad"
+	})
+	if got := c.Get(); got != "ok" {
+		t.Fatalf("chained continuation = %q", got)
+	}
+}
+
+func TestThenOnCompletedFuture(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	a := AsyncF(rt, func() int { return 7 })
+	a.Wait()
+	if got := Then(a, Sync, func(v int) int { return v + 1 }).Get(); got != 8 {
+		t.Fatalf("continuation on completed = %d", got)
+	}
+}
+
+func TestThenDeferred(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	var ran atomic.Bool
+	a := AsyncF(rt, func() int { return 1 })
+	c := Then(a, Deferred, func(v int) int { ran.Store(true); return v })
+	a.Wait()
+	time.Sleep(5 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("deferred continuation ran before Get")
+	}
+	if c.Get() != 1 || !ran.Load() {
+		t.Fatal("deferred continuation wrong")
+	}
+}
+
+func TestWhenAll(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	var done atomic.Int32
+	mk := func(d time.Duration) *Future[int] {
+		return AsyncF(rt, func() int {
+			time.Sleep(d)
+			done.Add(1)
+			return 0
+		})
+	}
+	all := WhenAll(rt, mk(time.Millisecond), mk(2*time.Millisecond), mk(0))
+	all.Get()
+	if done.Load() != 3 {
+		t.Fatalf("WhenAll completed with %d/3 done", done.Load())
+	}
+}
+
+func TestWhenAny(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	slow := AsyncF(rt, func() int { time.Sleep(50 * time.Millisecond); return 0 })
+	fast := AsyncF(rt, func() int { return 1 })
+	fast.Wait()
+	idx := WhenAny(rt, slow, fast).Get()
+	if idx != 1 {
+		t.Fatalf("WhenAny = %d want 1 (the completed one)", idx)
+	}
+	slow.Wait()
+}
+
+func TestWhenAnySingle(t *testing.T) {
+	rt := newTestRuntime(t, 1)
+	f := AsyncF(rt, func() int { time.Sleep(2 * time.Millisecond); return 0 })
+	if idx := WhenAny(rt, f).Get(); idx != 0 {
+		t.Fatalf("WhenAny single = %d", idx)
+	}
+}

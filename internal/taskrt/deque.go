@@ -1,0 +1,65 @@
+package taskrt
+
+import "sync"
+
+// task is one unit of schedulable work.
+type task struct {
+	fn func(w *worker)
+}
+
+// deque is a double-ended task queue. The owning worker pushes and pops at
+// the back (LIFO, preserving locality and bounding queue growth in
+// recursive decompositions); thieves steal from the front (FIFO, taking
+// the oldest — usually largest — task). A mutex suffices here: with
+// Inncabs-scale task grains (≥1 µs) queue operations are not the
+// bottleneck, and correctness is trivially auditable.
+type deque struct {
+	mu    sync.Mutex
+	tasks []*task
+}
+
+// pushBack appends a task at the owner's end and reports the new length.
+func (d *deque) pushBack(t *task) int {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	n := len(d.tasks)
+	d.mu.Unlock()
+	return n
+}
+
+// popBack removes the most recently pushed task (owner side).
+func (d *deque) popBack() *task {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	d.mu.Unlock()
+	return t
+}
+
+// popFront removes the oldest task (thief side).
+func (d *deque) popFront() *task {
+	d.mu.Lock()
+	if len(d.tasks) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	d.mu.Unlock()
+	return t
+}
+
+// len returns the current queue length.
+func (d *deque) len() int {
+	d.mu.Lock()
+	n := len(d.tasks)
+	d.mu.Unlock()
+	return n
+}

@@ -1,0 +1,223 @@
+package taskrt
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	var d deque
+	t1, t2, t3 := &task{}, &task{}, &task{}
+	d.pushBack(t1)
+	d.pushBack(t2)
+	if n := d.pushBack(t3); n != 3 {
+		t.Fatalf("len after pushes = %d", n)
+	}
+	if d.popBack() != t3 || d.popBack() != t2 || d.popBack() != t1 {
+		t.Fatal("owner pops not LIFO")
+	}
+	if d.popBack() != nil {
+		t.Fatal("empty popBack != nil")
+	}
+}
+
+func TestDequeFIFOThief(t *testing.T) {
+	var d deque
+	t1, t2, t3 := &task{}, &task{}, &task{}
+	d.pushBack(t1)
+	d.pushBack(t2)
+	d.pushBack(t3)
+	if d.popFront() != t1 || d.popFront() != t2 || d.popFront() != t3 {
+		t.Fatal("thief pops not FIFO")
+	}
+	if d.popFront() != nil {
+		t.Fatal("empty popFront != nil")
+	}
+}
+
+func TestDequeMixed(t *testing.T) {
+	var d deque
+	t1, t2, t3, t4 := &task{}, &task{}, &task{}, &task{}
+	d.pushBack(t1)
+	d.pushBack(t2)
+	d.pushBack(t3)
+	d.pushBack(t4)
+	if d.popFront() != t1 {
+		t.Fatal("front")
+	}
+	if d.popBack() != t4 {
+		t.Fatal("back")
+	}
+	if d.len() != 2 {
+		t.Fatalf("len = %d", d.len())
+	}
+}
+
+// TestDequeQuickAgainstModel drives the deque with random operation
+// sequences and cross-checks against a plain-slice reference model.
+func TestDequeQuickAgainstModel(t *testing.T) {
+	type op struct{ kind int } // 0 push, 1 popBack, 2 popFront
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			ops := make([]op, r.Intn(200))
+			for i := range ops {
+				ops[i] = op{r.Intn(3)}
+			}
+			args[0] = reflect.ValueOf(ops)
+		},
+	}
+	prop := func(ops []op) bool {
+		var d deque
+		var model []*task
+		next := 0
+		for _, o := range ops {
+			switch o.kind {
+			case 0:
+				tk := &task{}
+				_ = next
+				d.pushBack(tk)
+				model = append(model, tk)
+			case 1:
+				got := d.popBack()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if got != want {
+						return false
+					}
+				}
+			case 2:
+				got := d.popFront()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[0]
+					model = model[1:]
+					if got != want {
+						return false
+					}
+				}
+			}
+			if d.len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDequeConcurrent hammers the deque from an owner and several thieves
+// and verifies every task is dispensed exactly once.
+func TestDequeConcurrent(t *testing.T) {
+	var d deque
+	const n = 10000
+	seen := make([]atomic32, n)
+	tasks := make([]*task, n)
+	idx := make(map[*task]int, n)
+	for i := range tasks {
+		tasks[i] = &task{}
+		idx[tasks[i]] = i
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // owner: pushes all, pops some
+		defer wg.Done()
+		for i, tk := range tasks {
+			d.pushBack(tk)
+			if i%3 == 0 {
+				if got := d.popBack(); got != nil {
+					seen[idx[got]].add()
+				}
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() { // thieves
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if got := d.popFront(); got != nil {
+					seen[idx[got]].add()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for { // drain the rest
+		got := d.popFront()
+		if got == nil {
+			break
+		}
+		seen[idx[got]].add()
+	}
+	for i := range seen {
+		if c := seen[i].load(); c != 1 {
+			t.Fatalf("task %d dispensed %d times", i, c)
+		}
+	}
+}
+
+type atomic32 struct{ v int32 }
+
+func (a *atomic32) add()        { atomicAdd32(&a.v) }
+func (a *atomic32) load() int32 { return atomicLoad32(&a.v) }
+
+func TestNotifier(t *testing.T) {
+	n := newNotifier()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		g := n.prepare()
+		close(release)
+		n.wait(g)
+		close(done)
+	}()
+	<-release
+	// Wait for the sleeper to register so notify's fast path sees it.
+	for n.sleepers.Load() == 0 {
+	}
+	n.notify()
+	select {
+	case <-done:
+	case <-timeoutC():
+		t.Fatal("waiter not woken")
+	}
+	// cancel path: prepare then cancel leaves no sleepers.
+	_ = n.prepare()
+	n.cancel()
+	if n.sleepers.Load() != 0 {
+		t.Fatal("cancel did not deregister")
+	}
+	n.notify() // no sleepers: no-op, must not block
+}
+
+func TestNotifierNoLostWakeup(t *testing.T) {
+	// A notify issued between prepare and wait must still wake the
+	// waiter: the generation observed at prepare is stale by wait time.
+	n := newNotifier()
+	g := n.prepare()
+	n.notify() // bump happens while registered
+	done := make(chan struct{})
+	go func() {
+		n.wait(g)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-timeoutC():
+		t.Fatal("wakeup lost")
+	}
+}

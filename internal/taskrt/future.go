@@ -1,0 +1,199 @@
+package taskrt
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Policy selects how an Async task is launched, mirroring HPX's launch
+// policies (the paper evaluates async, deferred, fork and optional).
+type Policy int
+
+const (
+	// Async schedules the task for asynchronous execution on the pool
+	// (HPX launch::async) — the policy the paper found fastest and used
+	// for all reported results.
+	Async Policy = iota
+	// Sync executes the task immediately on the calling goroutine
+	// (HPX launch::sync).
+	Sync
+	// Fork executes the task eagerly at the spawn point, approximating
+	// HPX launch::fork's continuation stealing (see package docs).
+	Fork
+	// Deferred delays execution until the first Get/Wait, which then runs
+	// the task inline (HPX launch::deferred).
+	Deferred
+	// Optional lets the runtime choose; it behaves like Async.
+	Optional
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Async:
+		return "async"
+	case Sync:
+		return "sync"
+	case Fork:
+		return "fork"
+	case Deferred:
+		return "deferred"
+	case Optional:
+		return "optional"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a policy name as used on benchmark command lines.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "async":
+		return Async, nil
+	case "sync":
+		return Sync, nil
+	case "fork":
+		return Fork, nil
+	case "deferred":
+		return Deferred, nil
+	case "optional":
+		return Optional, nil
+	default:
+		return Async, fmt.Errorf("taskrt: unknown launch policy %q", s)
+	}
+}
+
+const (
+	futCreated int32 = iota
+	futRunning
+	futDone
+)
+
+// Waiter is the type-erased view of a Future, usable in WaitAll.
+type Waiter interface {
+	// Wait blocks until the future's value is available.
+	Wait()
+	// Ready reports whether the value is already available.
+	Ready() bool
+}
+
+// Future holds the eventual result of an Async call. The zero value is
+// not usable; futures are created by Spawn.
+type Future[T any] struct {
+	rt    *Runtime
+	state atomic.Int32
+	done  chan struct{}
+	fn    func() T
+	value T
+	panic any
+}
+
+// Spawn launches fn under the given policy on rt and returns a Future for
+// its result. Task submission from inside another task lands on the
+// submitting worker's own queue (child tasks are executed or stolen in
+// LIFO/FIFO order as in HPX's local-priority scheduler).
+func Spawn[T any](rt *Runtime, policy Policy, fn func() T) *Future[T] {
+	f := &Future[T]{rt: rt, done: make(chan struct{})}
+	switch policy {
+	case Sync, Fork:
+		// Work-first execution at the spawn point. When on a worker, the
+		// execution is accounted as an inline task.
+		if w := rt.currentWorker(); w != nil {
+			w.executeInline(&task{fn: func(*worker) { f.run(fn) }})
+		} else {
+			f.run(fn)
+		}
+	case Deferred:
+		f.fn = fn
+	default: // Async, Optional
+		if err := rt.submit(&task{fn: func(*worker) { f.run(fn) }}); err != nil {
+			// Runtime shut down: fall back to deferred execution so the
+			// future still completes when queried.
+			f.fn = fn
+		}
+	}
+	return f
+}
+
+// AsyncF is shorthand for Spawn with the Async policy, matching the
+// paper's hpx::async usage.
+func AsyncF[T any](rt *Runtime, fn func() T) *Future[T] {
+	return Spawn(rt, Async, fn)
+}
+
+// run executes the task body exactly once and publishes the result.
+func (f *Future[T]) run(fn func() T) {
+	if !f.state.CompareAndSwap(futCreated, futRunning) {
+		return // already claimed (raced Deferred Get vs something else)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			f.panic = r
+		}
+		f.state.Store(futDone)
+		close(f.done)
+	}()
+	f.value = fn()
+}
+
+// Ready reports whether the result is available without blocking.
+func (f *Future[T]) Ready() bool { return f.state.Load() == futDone }
+
+// Wait blocks until the result is available. On a worker goroutine it
+// executes other pending tasks while waiting (help-first stealing); on
+// any other goroutine it parks.
+func (f *Future[T]) Wait() {
+	if f.state.Load() == futDone {
+		return
+	}
+	if f.fn != nil && f.state.Load() == futCreated {
+		// Deferred: the first waiter runs the task inline.
+		fn := f.fn
+		if w := f.rt.currentWorker(); w != nil {
+			w.executeInline(&task{fn: func(*worker) { f.run(fn) }})
+		} else {
+			f.run(fn)
+		}
+		if f.state.Load() == futDone {
+			return
+		}
+	}
+	if w := f.rt.currentWorker(); w != nil {
+		f.rt.helpWait(w, f.done)
+		return
+	}
+	<-f.done
+}
+
+// Get waits for and returns the result. A panic in the task body is
+// re-raised in the caller, as a future's get would rethrow in C++.
+func (f *Future[T]) Get() T {
+	f.Wait()
+	if f.panic != nil {
+		panic(f.panic)
+	}
+	return f.value
+}
+
+// WaitAll waits for every given future, matching hpx::wait_all.
+func WaitAll(fs ...Waiter) {
+	for _, f := range fs {
+		f.Wait()
+	}
+}
+
+// WaitAllOf waits for a homogeneous slice of futures.
+func WaitAllOf[T any](fs []*Future[T]) {
+	for _, f := range fs {
+		f.Wait()
+	}
+}
+
+// GetAll waits for all futures and collects their values.
+func GetAll[T any](fs []*Future[T]) []T {
+	out := make([]T, len(fs))
+	for i, f := range fs {
+		out[i] = f.Get()
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package taskrt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// goroutineID extracts the numeric id of the calling goroutine from its
+// stack-trace header ("goroutine 123 [running]:"). The standard library
+// deliberately hides goroutine identity; parsing the header is the only
+// stdlib-pure way to recover it. It costs on the order of a microsecond,
+// so the runtime only consults it on the Future slow path and at task
+// submission, never per queue operation.
+func goroutineID() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine ".
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// workerMap associates worker goroutines with their worker structure so
+// that Async and Future.Get can detect whether they run on a worker (and
+// which) without threading a context through user code.
+type workerMap struct {
+	mu sync.RWMutex
+	m  map[uint64]*worker
+}
+
+func newWorkerMap() *workerMap {
+	return &workerMap{m: make(map[uint64]*worker)}
+}
+
+func (wm *workerMap) register(id uint64, w *worker) {
+	wm.mu.Lock()
+	wm.m[id] = w
+	wm.mu.Unlock()
+}
+
+func (wm *workerMap) unregister(id uint64) {
+	wm.mu.Lock()
+	delete(wm.m, id)
+	wm.mu.Unlock()
+}
+
+func (wm *workerMap) lookup(id uint64) *worker {
+	wm.mu.RLock()
+	w := wm.m[id]
+	wm.mu.RUnlock()
+	return w
+}

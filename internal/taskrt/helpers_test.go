@@ -1,0 +1,13 @@
+package taskrt
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+func atomicAdd32(p *int32) { atomic.AddInt32(p, 1) }
+
+func atomicLoad32(p *int32) int32 { return atomic.LoadInt32(p) }
+
+// timeoutC returns a generous test timeout channel.
+func timeoutC() <-chan time.Time { return time.After(5 * time.Second) }

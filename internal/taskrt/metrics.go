@@ -1,0 +1,390 @@
+package taskrt
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// workerMetrics aggregates the per-worker event counts the thread-manager
+// counters report. All fields are atomics: producers (the worker loop)
+// never block on consumers (counter evaluations).
+type workerMetrics struct {
+	tasksExecuted  atomic.Int64 // completed tasks
+	taskTimeNs     atomic.Int64 // cumulative task execution time
+	overheadNs     atomic.Int64 // cumulative scheduling overhead
+	idleNs         atomic.Int64 // cumulative parked time
+	stolen         atomic.Int64 // tasks this worker stole from others
+	parkedSince    atomic.Int64 // wall-clock ns when the current park began; 0 if running
+	pendingPeak    atomic.Int64 // high-water mark of the local queue
+	started        atomic.Int64 // wall-clock ns when the worker started
+	active         atomic.Int64 // 1 while executing a task
+	inlineExecuted atomic.Int64 // tasks run inline (Fork/Sync/helping)
+}
+
+func (m *workerMetrics) reset() {
+	m.tasksExecuted.Store(0)
+	m.taskTimeNs.Store(0)
+	m.overheadNs.Store(0)
+	m.idleNs.Store(0)
+	m.stolen.Store(0)
+	m.pendingPeak.Store(0)
+	m.inlineExecuted.Store(0)
+}
+
+func (m *workerMetrics) notePending(n int) {
+	for {
+		old := m.pendingPeak.Load()
+		if int64(n) <= old || m.pendingPeak.CompareAndSwap(old, int64(n)) {
+			return
+		}
+	}
+}
+
+// counterSpec describes one thread-manager counter type and how to read
+// it for a single worker. Per-worker instances sum one worker; the total
+// instance sums all workers.
+type counterSpec struct {
+	counter string
+	help    string
+	unit    string
+	read    func(m *workerMetrics) int64
+	reset   func(m *workerMetrics)
+	// derived counters (averages, rates) need the whole metrics set.
+	total func(rt *Runtime, workers []int) int64
+}
+
+// RegisterCounters registers the runtime's full thread-manager counter
+// set with reg under locality loc. Counter names follow the HPX scheme
+// used in the paper:
+//
+//	/threads{locality#L/total}/count/cumulative
+//	/threads{locality#L/worker-thread#W}/time/average
+//	/threads{locality#L/total}/time/average-overhead
+//	/threads{locality#L/total}/time/cumulative
+//	/threads{locality#L/total}/time/cumulative-overhead
+//	/threads{locality#L/total}/idle-rate
+//	/threads{locality#L/total}/count/stolen
+//	/threads{locality#L/total}/count/instantaneous/pending
+//	/threadqueue{locality#L/worker-thread#W}/length
+//	/runtime{locality#L/total}/uptime
+//	/runtime{locality#L/total}/memory/allocated
+//	/runtime{locality#L/total}/memory/resident
+//
+// The registration is idempotent per registry+locality pair only in the
+// sense that registering twice returns an error from the registry.
+func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
+	loc := rt.locality
+	n := len(rt.workers)
+	allWorkers := make([]int, n)
+	for i := range allWorkers {
+		allWorkers[i] = i
+	}
+
+	sumOver := func(workers []int, read func(m *workerMetrics) int64) int64 {
+		var s int64
+		for _, w := range workers {
+			s += read(&rt.workers[w].metrics)
+		}
+		return s
+	}
+
+	type simpleSpec struct {
+		counter, help, unit string
+		read                func(m *workerMetrics) int64
+		reset               func(m *workerMetrics)
+	}
+	simple := []simpleSpec{
+		{"count/cumulative", "number of tasks executed", core.UnitEvents,
+			func(m *workerMetrics) int64 { return m.tasksExecuted.Load() },
+			func(m *workerMetrics) { m.tasksExecuted.Store(0) }},
+		{"time/cumulative", "cumulative task execution time", core.UnitNanoseconds,
+			func(m *workerMetrics) int64 { return m.taskTimeNs.Load() },
+			func(m *workerMetrics) { m.taskTimeNs.Store(0) }},
+		{"time/cumulative-overhead", "cumulative scheduling overhead", core.UnitNanoseconds,
+			func(m *workerMetrics) int64 { return m.overheadNs.Load() },
+			func(m *workerMetrics) { m.overheadNs.Store(0) }},
+		{"count/stolen", "tasks stolen from other workers", core.UnitEvents,
+			func(m *workerMetrics) int64 { return m.stolen.Load() },
+			func(m *workerMetrics) { m.stolen.Store(0) }},
+		{"count/inline", "tasks executed inline (fork/sync/helping)", core.UnitEvents,
+			func(m *workerMetrics) int64 { return m.inlineExecuted.Load() },
+			func(m *workerMetrics) { m.inlineExecuted.Store(0) }},
+		{"time/idle", "cumulative parked time", core.UnitNanoseconds,
+			func(m *workerMetrics) int64 { return m.idleNs.Load() },
+			func(m *workerMetrics) { m.idleNs.Store(0) }},
+	}
+
+	register := func(name core.Name, info core.Info, workers []int,
+		read func(m *workerMetrics) int64, reset func(m *workerMetrics)) error {
+		ws := workers
+		var resetAll func()
+		if reset != nil {
+			resetAll = func() {
+				for _, w := range ws {
+					reset(&rt.workers[w].metrics)
+				}
+			}
+		}
+		return reg.Register(core.NewFuncCounter(name, info, 0,
+			func() int64 { return sumOver(ws, read) }, resetAll))
+	}
+
+	for _, s := range simple {
+		info := core.Info{
+			TypeName: "/threads/" + s.counter,
+			HelpText: s.help, Unit: s.unit, Version: "1.0",
+		}
+		total := core.Name{Object: "threads", Counter: s.counter}.
+			WithInstances(core.LocalityInstance(loc, "total", -1)...)
+		if err := register(total, info, allWorkers, s.read, s.reset); err != nil {
+			return err
+		}
+		for w := 0; w < n; w++ {
+			name := core.Name{Object: "threads", Counter: s.counter}.
+				WithInstances(core.LocalityInstance(loc, "worker-thread", int64(w))...)
+			if err := register(name, info, []int{w}, s.read, s.reset); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Average task duration and average overhead: ratio counters over the
+	// cumulative sums, matching /threads/time/average and
+	// /threads/time/average-overhead in the paper.
+	type ratioSpec struct {
+		counter, help string
+		num           func(m *workerMetrics) int64
+		resetNum      func(m *workerMetrics)
+	}
+	ratios := []ratioSpec{
+		{"time/average", "average task duration (task granularity)",
+			func(m *workerMetrics) int64 { return m.taskTimeNs.Load() },
+			func(m *workerMetrics) { m.taskTimeNs.Store(0); m.tasksExecuted.Store(0) }},
+		{"time/average-overhead", "average per-task scheduling overhead",
+			func(m *workerMetrics) int64 { return m.overheadNs.Load() },
+			func(m *workerMetrics) { m.overheadNs.Store(0); m.tasksExecuted.Store(0) }},
+	}
+	for _, s := range ratios {
+		s := s
+		info := core.Info{TypeName: "/threads/" + s.counter, HelpText: s.help,
+			Unit: core.UnitNanoseconds, Version: "1.0"}
+		registerRatio := func(name core.Name, workers []int) error {
+			ws := workers
+			return reg.Register(newRatioCounter(name, info,
+				func() (int64, int64) {
+					var num, den int64
+					for _, w := range ws {
+						num += s.num(&rt.workers[w].metrics)
+						den += rt.workers[w].metrics.tasksExecuted.Load()
+					}
+					return num, den
+				},
+				func() {
+					for _, w := range ws {
+						s.resetNum(&rt.workers[w].metrics)
+					}
+				}))
+		}
+		total := core.Name{Object: "threads", Counter: s.counter}.
+			WithInstances(core.LocalityInstance(loc, "total", -1)...)
+		if err := registerRatio(total, allWorkers); err != nil {
+			return err
+		}
+		for w := 0; w < n; w++ {
+			name := core.Name{Object: "threads", Counter: s.counter}.
+				WithInstances(core.LocalityInstance(loc, "worker-thread", int64(w))...)
+			if err := registerRatio(name, []int{w}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Idle rate: parked time over wall time, in 0.01% units like HPX.
+	idleInfo := core.Info{TypeName: "/threads/idle-rate",
+		HelpText: "ratio of parked time to wall time", Unit: "0.01%", Version: "1.0"}
+	registerIdle := func(name core.Name, workers []int) error {
+		ws := workers
+		return reg.Register(newRatioCounter(name, idleInfo,
+			func() (int64, int64) {
+				var idle, wall int64
+				nowNs := time.Now().UnixNano()
+				for _, w := range ws {
+					m := &rt.workers[w].metrics
+					i := m.idleNs.Load()
+					if since := m.parkedSince.Load(); since != 0 && nowNs > since {
+						i += nowNs - since // park still in progress
+					}
+					idle += i * 10000
+					wall += nowNs - m.started.Load()
+				}
+				return idle, wall
+			},
+			func() {
+				nowNs := time.Now().UnixNano()
+				for _, w := range ws {
+					m := &rt.workers[w].metrics
+					m.idleNs.Store(0)
+					m.started.Store(nowNs)
+					if m.parkedSince.Load() != 0 {
+						m.parkedSince.Store(nowNs) // restart the in-progress park
+					}
+				}
+			}))
+	}
+	totalIdle := core.Name{Object: "threads", Counter: "idle-rate"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	if err := registerIdle(totalIdle, allWorkers); err != nil {
+		return err
+	}
+	for w := 0; w < n; w++ {
+		name := core.Name{Object: "threads", Counter: "idle-rate"}.
+			WithInstances(core.LocalityInstance(loc, "worker-thread", int64(w))...)
+		if err := registerIdle(name, []int{w}); err != nil {
+			return err
+		}
+	}
+
+	// Instantaneous pending tasks and per-queue lengths.
+	pendInfo := core.Info{TypeName: "/threads/count/instantaneous/pending",
+		HelpText: "tasks currently queued", Unit: core.UnitEvents, Version: "1.0"}
+	pendName := core.Name{Object: "threads", Counter: "count/instantaneous/pending"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	if err := reg.Register(core.NewFuncCounter(pendName, pendInfo, 0, func() int64 {
+		var s int64
+		for _, w := range rt.workers {
+			s += int64(w.queue.len())
+		}
+		s += int64(rt.injector.len())
+		return s
+	}, nil)); err != nil {
+		return err
+	}
+	activeInfo := core.Info{TypeName: "/threads/count/instantaneous/active",
+		HelpText: "tasks currently executing", Unit: core.UnitEvents, Version: "1.0"}
+	activeName := core.Name{Object: "threads", Counter: "count/instantaneous/active"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	if err := reg.Register(core.NewFuncCounter(activeName, activeInfo, 0, func() int64 {
+		var s int64
+		for _, w := range rt.workers {
+			s += w.metrics.active.Load()
+		}
+		return s
+	}, nil)); err != nil {
+		return err
+	}
+	qlenInfo := core.Info{TypeName: "/threadqueue/length",
+		HelpText: "length of one worker's task queue", Unit: core.UnitEvents, Version: "1.0"}
+	for w := 0; w < n; w++ {
+		w := w
+		name := core.Name{Object: "threadqueue", Counter: "length"}.
+			WithInstances(core.LocalityInstance(loc, "worker-thread", int64(w))...)
+		if err := reg.Register(core.NewFuncCounter(name, qlenInfo, 0, func() int64 {
+			return int64(rt.workers[w].queue.len())
+		}, nil)); err != nil {
+			return err
+		}
+	}
+
+	// Instantaneous scheduler utilization: executing workers over
+	// allowed workers, in percent (HPX's
+	// /scheduler/utilization/instantaneous).
+	utilName := core.Name{Object: "scheduler", Counter: "utilization/instantaneous"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	utilInfo := core.Info{TypeName: "/scheduler/utilization/instantaneous",
+		HelpText: "workers currently executing a task, as a percentage of the active pool",
+		Unit:     core.UnitPercent, Version: "1.0"}
+	if err := reg.Register(core.NewFuncCounter(utilName, utilInfo, 0, func() int64 {
+		var busy int64
+		for _, w := range rt.workers {
+			busy += w.metrics.active.Load()
+		}
+		allowed := int64(rt.ConcurrencyLimit())
+		if allowed == 0 {
+			return 0
+		}
+		return busy * 100 / allowed
+	}, nil)); err != nil {
+		return err
+	}
+
+	// Current concurrency limit (the APEX throttling knob).
+	limName := core.Name{Object: "threads", Counter: "count/workers-active"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	limInfo := core.Info{TypeName: "/threads/count/workers-active",
+		HelpText: "workers allowed to run under the current concurrency limit",
+		Unit:     core.UnitEvents, Version: "1.0"}
+	if err := reg.Register(core.NewFuncCounter(limName, limInfo, 0, func() int64 {
+		return int64(rt.ConcurrencyLimit())
+	}, nil)); err != nil {
+		return err
+	}
+
+	// Runtime counters: uptime and memory, from the Go runtime.
+	uptime := core.NewElapsedTimeCounter(
+		core.Name{Object: "runtime", Counter: "uptime"}.
+			WithInstances(core.LocalityInstance(loc, "total", -1)...),
+		core.Info{TypeName: "/runtime/uptime", HelpText: "elapsed wall time", Unit: core.UnitNanoseconds, Version: "1.0"})
+	if err := reg.Register(uptime); err != nil {
+		return err
+	}
+	memSpecs := []struct {
+		counter, help string
+		read          func(ms *runtime.MemStats) int64
+	}{
+		{"memory/allocated", "heap bytes allocated and in use",
+			func(ms *runtime.MemStats) int64 { return int64(ms.HeapAlloc) }},
+		{"memory/resident", "total bytes obtained from the OS",
+			func(ms *runtime.MemStats) int64 { return int64(ms.Sys) }},
+		{"memory/total-allocated", "cumulative bytes allocated",
+			func(ms *runtime.MemStats) int64 { return int64(ms.TotalAlloc) }},
+	}
+	for _, s := range memSpecs {
+		s := s
+		name := core.Name{Object: "runtime", Counter: s.counter}.
+			WithInstances(core.LocalityInstance(loc, "total", -1)...)
+		info := core.Info{TypeName: "/runtime/" + s.counter, HelpText: s.help,
+			Unit: core.UnitBytes, Version: "1.0"}
+		if err := reg.Register(core.NewFuncCounter(name, info, 0, func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return s.read(&ms)
+		}, nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ratioCounter reports numerator/denominator with the denominator carried
+// as the Value scaling, like the HPX average counters.
+type ratioCounter struct {
+	name  core.Name
+	info  core.Info
+	read  func() (num, den int64)
+	reset func()
+}
+
+func newRatioCounter(name core.Name, info core.Info, read func() (int64, int64), reset func()) *ratioCounter {
+	return &ratioCounter{name: name, info: info, read: read, reset: reset}
+}
+
+func (c *ratioCounter) Name() core.Name { return c.name }
+func (c *ratioCounter) Info() core.Info { return c.info }
+
+func (c *ratioCounter) Value(reset bool) core.Value {
+	num, den := c.read()
+	if reset {
+		c.reset()
+	}
+	scaling := den
+	if scaling == 0 {
+		scaling = 1
+	}
+	return core.Value{Name: c.name.String(), Raw: num, Scaling: scaling, Count: den,
+		Time: time.Now(), Status: core.StatusValid}
+}
+
+func (c *ratioCounter) Reset() { c.reset() }

@@ -1,0 +1,49 @@
+package taskrt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mutex is a drop-in replacement for sync.Mutex that counts acquisitions
+// and contention, so the co-dependent Inncabs benchmarks (Intersim,
+// Round) can expose their synchronization behaviour through counters.
+//
+// Tasks that block on a Mutex block their worker goroutine; unlike HPX's
+// suspending mutexes this removes a worker from the pool for the duration
+// of the wait. The Inncabs benchmarks hold their locks only for short
+// critical sections, so the difference is not observable there; programs
+// with long waits under lock should restructure around futures instead.
+type Mutex struct {
+	mu         sync.Mutex
+	acquired   atomic.Int64
+	contended  atomic.Int64
+	registered atomic.Bool
+}
+
+// Lock acquires the mutex, counting the acquisition and whether it had to
+// wait.
+func (m *Mutex) Lock() {
+	if m.mu.TryLock() {
+		m.acquired.Add(1)
+		return
+	}
+	m.contended.Add(1)
+	m.mu.Lock()
+	m.acquired.Add(1)
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.mu.Unlock() }
+
+// Acquisitions returns the number of successful Lock calls.
+func (m *Mutex) Acquisitions() int64 { return m.acquired.Load() }
+
+// Contentions returns the number of Lock calls that had to wait.
+func (m *Mutex) Contentions() int64 { return m.contended.Load() }
+
+// ResetStats clears both counters.
+func (m *Mutex) ResetStats() {
+	m.acquired.Store(0)
+	m.contended.Store(0)
+}

@@ -1,0 +1,74 @@
+package taskrt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// notifier is an eventcount: workers that find no runnable work wait on
+// it, and producers wake them after publishing a task.
+//
+// Protocol (waiter):
+//
+//	g := n.prepare()        // registers as a sleeper
+//	if workAvailable() {    // re-check under registration
+//	    n.cancel()
+//	} else {
+//	    n.wait(g)
+//	}
+//
+// Registration happens before the re-check, so a producer that publishes
+// work after the waiter's check is guaranteed to observe sleepers > 0 and
+// issue the wakeup (the increment happens-before the queue read, which
+// happens-before the producer's queue write via the queue mutex, which
+// happens-before the producer's sleeper load). This makes the producer's
+// sleepers==0 fast path free of lost wakeups.
+type notifier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      uint64
+	sleepers atomic.Int64
+}
+
+func newNotifier() *notifier {
+	n := &notifier{}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// prepare registers the caller as a prospective sleeper and returns the
+// current generation. It must be balanced by exactly one wait or cancel.
+func (n *notifier) prepare() uint64 {
+	n.sleepers.Add(1)
+	n.mu.Lock()
+	g := n.gen
+	n.mu.Unlock()
+	return g
+}
+
+// cancel deregisters a prepared sleeper that found work after all.
+func (n *notifier) cancel() {
+	n.sleepers.Add(-1)
+}
+
+// wait blocks until a notify strictly after the observed generation.
+func (n *notifier) wait(gen uint64) {
+	n.mu.Lock()
+	for n.gen == gen {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+	n.sleepers.Add(-1)
+}
+
+// notify wakes all registered sleepers. With no sleepers it is a single
+// atomic load.
+func (n *notifier) notify() {
+	if n.sleepers.Load() == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.gen++
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+package taskrt
+
+import "testing"
+
+func BenchmarkSpawnGet(b *testing.B) {
+	rt := New(WithWorkers(1))
+	defer rt.Shutdown()
+	root := AsyncF(rt, func() int {
+		for i := 0; i < b.N; i++ {
+			f := AsyncF(rt, func() int { return 1 })
+			f.Get()
+		}
+		return 0
+	})
+	root.Get()
+}
+
+func BenchmarkGoroutineID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		goroutineID()
+	}
+}
+
+func BenchmarkCurrentWorkerLookup(b *testing.B) {
+	rt := New(WithWorkers(1))
+	defer rt.Shutdown()
+	for i := 0; i < b.N; i++ {
+		rt.currentWorker()
+	}
+}

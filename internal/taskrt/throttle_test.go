@@ -1,0 +1,202 @@
+package taskrt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestConcurrencyLimitBounds(t *testing.T) {
+	rt := New(WithWorkers(4))
+	defer rt.Shutdown()
+	if rt.ConcurrencyLimit() != 4 {
+		t.Fatalf("default limit = %d", rt.ConcurrencyLimit())
+	}
+	rt.SetConcurrencyLimit(2)
+	if rt.ConcurrencyLimit() != 2 {
+		t.Fatalf("limit = %d", rt.ConcurrencyLimit())
+	}
+	rt.SetConcurrencyLimit(0) // restores full concurrency
+	if rt.ConcurrencyLimit() != 4 {
+		t.Fatalf("limit after 0 = %d", rt.ConcurrencyLimit())
+	}
+	rt.SetConcurrencyLimit(99) // clamped
+	if rt.ConcurrencyLimit() != 4 {
+		t.Fatalf("limit after 99 = %d", rt.ConcurrencyLimit())
+	}
+}
+
+func TestThrottledRuntimeStillCorrect(t *testing.T) {
+	rt := New(WithWorkers(4))
+	defer rt.Shutdown()
+	rt.SetConcurrencyLimit(1)
+	if got := fibRT(rt, 18); got != 2584 {
+		t.Fatalf("fib(18) under throttle = %d", got)
+	}
+	// Raising the limit mid-flight must not lose tasks.
+	var count atomic.Int64
+	fs := make([]*Future[int], 100)
+	for i := range fs {
+		fs[i] = AsyncF(rt, func() int {
+			count.Add(1)
+			time.Sleep(100 * time.Microsecond)
+			return 0
+		})
+	}
+	rt.SetConcurrencyLimit(4)
+	WaitAllOf(fs)
+	if count.Load() != 100 {
+		t.Fatalf("executed %d/100", count.Load())
+	}
+}
+
+func TestThrottledWorkersConcurrency(t *testing.T) {
+	// With limit 1, at most one task executes at a time even under a
+	// flood (except inline help from the waiting spawner, which there
+	// is none of here: the spawner is not a worker).
+	rt := New(WithWorkers(4))
+	defer rt.Shutdown()
+	rt.SetConcurrencyLimit(1)
+	var inFlight, maxInFlight atomic.Int64
+	fs := make([]*Future[int], 50)
+	for i := range fs {
+		fs[i] = AsyncF(rt, func() int {
+			cur := inFlight.Add(1)
+			for {
+				prev := maxInFlight.Load()
+				if cur <= prev || maxInFlight.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			inFlight.Add(-1)
+			return 0
+		})
+	}
+	WaitAllOf(fs)
+	if maxInFlight.Load() > 1 {
+		t.Fatalf("max in-flight = %d under limit 1", maxInFlight.Load())
+	}
+}
+
+func TestUtilizationCounter(t *testing.T) {
+	rt := New(WithWorkers(2))
+	defer rt.Shutdown()
+	reg := core.NewRegistry()
+	if err := rt.RegisterCounters(reg); err != nil {
+		t.Fatal(err)
+	}
+	name := "/scheduler{locality#0/total}/utilization/instantaneous"
+	if v, err := reg.Evaluate(name, false); err != nil || v.Raw != 0 {
+		t.Fatalf("idle utilization = %+v (%v)", v, err)
+	}
+	block := make(chan struct{})
+	fs := []*Future[int]{
+		AsyncF(rt, func() int { <-block; return 0 }),
+		AsyncF(rt, func() int { <-block; return 0 }),
+	}
+	time.Sleep(5 * time.Millisecond)
+	if v, _ := reg.Evaluate(name, false); v.Raw != 100 {
+		t.Fatalf("saturated utilization = %d", v.Raw)
+	}
+	close(block)
+	WaitAllOf(fs)
+	w, _ := reg.Evaluate("/threads{locality#0/total}/count/workers-active", false)
+	if w.Raw != 2 {
+		t.Fatalf("workers-active = %d", w.Raw)
+	}
+}
+
+func TestNestedTimeAccounting(t *testing.T) {
+	// A parent that spends all its time waiting on a child must not
+	// absorb the child's execution time: total task time stays close to
+	// the actual compute, not 2x.
+	rt := New(WithWorkers(1))
+	defer rt.Shutdown()
+	reg := core.NewRegistry()
+	if err := rt.RegisterCounters(reg); err != nil {
+		t.Fatal(err)
+	}
+	const spinTime = 20 * time.Millisecond
+	parent := AsyncF(rt, func() int {
+		child := AsyncF(rt, func() int {
+			busySpin(spinTime)
+			return 1
+		})
+		return child.Get()
+	})
+	if parent.Get() != 1 {
+		t.Fatal("wrong result")
+	}
+	v, err := reg.Evaluate("/threads{locality#0/total}/time/cumulative", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := time.Duration(v.Raw)
+	if total < spinTime {
+		t.Fatalf("cumulative task time %v below the actual compute %v", total, spinTime)
+	}
+	if total > spinTime*3/2 {
+		t.Fatalf("cumulative task time %v double-counts the nested child (compute %v)", total, spinTime)
+	}
+}
+
+// TestChaos mixes policies, panics, throttling changes and tracing under
+// concurrent load: the runtime must stay correct throughout.
+func TestChaos(t *testing.T) {
+	rt := New(WithWorkers(4))
+	defer rt.Shutdown()
+	rt.EnableTracing(1 << 16)
+	policies := []Policy{Async, Sync, Fork, Deferred, Optional}
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := policies[(g+i)%len(policies)]
+				if i%3 == 0 {
+					rt.SetConcurrencyLimit(1 + (g+i)%4)
+				}
+				if i%17 == 0 {
+					// A panicking task must not corrupt the runtime.
+					f := Spawn(rt, p, func() int { panic("chaos") })
+					func() {
+						defer func() { recover() }()
+						f.Get()
+					}()
+					continue
+				}
+				f := Spawn(rt, p, func() int {
+					inner := AsyncF(rt, func() int { return 1 })
+					return inner.Get() + 1
+				})
+				sum.Add(int64(f.Get()))
+			}
+		}()
+	}
+	wg.Wait()
+	rt.SetConcurrencyLimit(0)
+	// 4 goroutines x 200 iterations, of which every 17th panics:
+	// the rest contribute exactly 2 each.
+	want := int64(0)
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 200; i++ {
+			if i%17 != 0 {
+				want += 2
+			}
+		}
+	}
+	if sum.Load() != want {
+		t.Fatalf("sum = %d want %d", sum.Load(), want)
+	}
+	// The runtime still works afterwards.
+	if got := fibRT(rt, 15); got != 610 {
+		t.Fatalf("post-chaos fib = %d", got)
+	}
+}

@@ -1,0 +1,149 @@
+package taskrt
+
+// Optional task tracing: when enabled, the runtime records one event
+// per executed task (worker, start, duration, inline flag) into a
+// bounded in-memory buffer, exportable in the Chrome trace-event format
+// (chrome://tracing, Perfetto). This is the post-mortem complement the
+// paper contrasts with in-situ counters: counters answer questions at
+// runtime; the trace reconstructs the schedule afterwards. Tracing is
+// off by default and costs two atomics per task when enabled.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvent is one executed task.
+type TraceEvent struct {
+	// Worker is the executing worker id.
+	Worker int
+	// Start is the task's begin time.
+	Start time.Time
+	// Duration is the task's own execution time (nested inline tasks
+	// excluded, as in the counters).
+	Duration time.Duration
+	// Inline marks tasks executed inline (Fork/Sync or help-first
+	// waiting) rather than from the scheduling loop.
+	Inline bool
+}
+
+// tracer is the bounded event sink.
+type tracer struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	limit   int
+	dropped atomic.Int64
+}
+
+const defaultTraceLimit = 1 << 20
+
+// EnableTracing starts recording task events (up to limit events;
+// pass 0 for the 1M default). Re-enabling clears the buffer.
+func (rt *Runtime) EnableTracing(limit int) {
+	if limit <= 0 {
+		limit = defaultTraceLimit
+	}
+	t := &tracer{limit: limit}
+	rt.trace.Store(t)
+}
+
+// DisableTracing stops recording; recorded events remain retrievable
+// until the next EnableTracing.
+func (rt *Runtime) DisableTracing() {
+	if t := rt.loadTracer(); t != nil {
+		rt.trace.Store((*tracer)(nil))
+		rt.lastTrace.Store(t)
+	}
+}
+
+// TraceEvents returns a copy of the recorded events (from the live
+// buffer if tracing is on, else from the last disabled session) and the
+// number of events dropped at the buffer limit.
+func (rt *Runtime) TraceEvents() ([]TraceEvent, int64) {
+	t := rt.loadTracer()
+	if t == nil {
+		if lt, ok := rt.lastTrace.Load().(*tracer); ok && lt != nil {
+			t = lt
+		}
+	}
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	out := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	return out, t.dropped.Load()
+}
+
+func (rt *Runtime) loadTracer() *tracer {
+	if t, ok := rt.trace.Load().(*tracer); ok {
+		return t
+	}
+	return nil
+}
+
+// record appends one event if tracing is enabled.
+func (rt *Runtime) record(ev TraceEvent) {
+	t := rt.loadTracer()
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) < t.limit {
+		t.events = append(t.events, ev)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.dropped.Add(1)
+}
+
+// chromeEvent is the trace-event JSON schema (phase "X" = complete
+// event; ts/dur in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serialises events in the Chrome trace-event format.
+// Timestamps are relative to the earliest event.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	if len(events) == 0 {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	epoch := events[0].Start
+	for _, ev := range events {
+		if ev.Start.Before(epoch) {
+			epoch = ev.Start
+		}
+	}
+	out := make([]chromeEvent, len(events))
+	for i, ev := range events {
+		cat := "task"
+		if ev.Inline {
+			cat = "task-inline"
+		}
+		out[i] = chromeEvent{
+			Name: fmt.Sprintf("task-%d", i),
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   float64(ev.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(ev.Duration.Nanoseconds()) / 1e3,
+			Pid:  0,
+			Tid:  ev.Worker,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,100 @@
+package taskrt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracingRecordsTasks(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.EnableTracing(0)
+	fs := make([]*Future[int], 20)
+	for i := range fs {
+		fs[i] = AsyncF(rt, func() int {
+			busySpin(50 * time.Microsecond)
+			return 0
+		})
+	}
+	WaitAllOf(fs)
+	events, dropped := rt.TraceEvents()
+	if len(events) != 20 || dropped != 0 {
+		t.Fatalf("events = %d dropped = %d", len(events), dropped)
+	}
+	for _, ev := range events {
+		if ev.Worker < 0 || ev.Worker >= rt.NumWorkers() {
+			t.Fatalf("bad worker id %d", ev.Worker)
+		}
+		if ev.Duration <= 0 {
+			t.Fatalf("non-positive duration %v", ev.Duration)
+		}
+	}
+	rt.DisableTracing()
+	// Events survive disable.
+	if events, _ := rt.TraceEvents(); len(events) != 20 {
+		t.Fatalf("events lost at disable: %d", len(events))
+	}
+	// New tasks after disable are not recorded.
+	AsyncF(rt, func() int { return 0 }).Get()
+	if events, _ := rt.TraceEvents(); len(events) != 20 {
+		t.Fatal("recording continued after disable")
+	}
+}
+
+func TestTracingBufferLimit(t *testing.T) {
+	rt := newTestRuntime(t, 1)
+	rt.EnableTracing(5)
+	fs := make([]*Future[int], 12)
+	for i := range fs {
+		fs[i] = AsyncF(rt, func() int { return 0 })
+	}
+	WaitAllOf(fs)
+	events, dropped := rt.TraceEvents()
+	if len(events) != 5 {
+		t.Fatalf("events = %d want 5", len(events))
+	}
+	if dropped != 7 {
+		t.Fatalf("dropped = %d want 7", dropped)
+	}
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	rt := newTestRuntime(t, 1)
+	AsyncF(rt, func() int { return 0 }).Get()
+	if events, _ := rt.TraceEvents(); events != nil {
+		t.Fatalf("events recorded without tracing: %d", len(events))
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.EnableTracing(0)
+	f := AsyncF(rt, func() int {
+		child := AsyncF(rt, func() int { busySpin(20 * time.Microsecond); return 1 })
+		return child.Get()
+	})
+	f.Get()
+	events, _ := rt.TraceEvents()
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed) != len(events) {
+		t.Fatalf("chrome events = %d, recorded = %d", len(parsed), len(events))
+	}
+	for _, ev := range parsed {
+		if ev["ph"] != "X" || ev["ts"].(float64) < 0 {
+			t.Fatalf("malformed event %v", ev)
+		}
+	}
+	// Empty trace: valid empty JSON array.
+	sb.Reset()
+	if err := WriteChromeTrace(&sb, nil); err != nil || strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("empty trace = %q (%v)", sb.String(), err)
+	}
+}
