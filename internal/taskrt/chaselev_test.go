@@ -1,0 +1,318 @@
+package taskrt
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestChaseLevGrowth pushes far past the initial buffer capacity and
+// checks that every task survives the grows, in FIFO order from the
+// thief side.
+func TestChaseLevGrowth(t *testing.T) {
+	var d deque
+	const n = initialDequeCap*8 + 3
+	tasks := make([]*task, n)
+	for i := range tasks {
+		tasks[i] = &task{}
+		d.pushBack(tasks[i])
+	}
+	if d.len() != n {
+		t.Fatalf("len = %d want %d", d.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := d.popFront(); got != tasks[i] {
+			t.Fatalf("popFront %d: wrong task", i)
+		}
+	}
+	if d.popFront() != nil || d.popBack() != nil || d.len() != 0 {
+		t.Fatal("deque not empty after drain")
+	}
+}
+
+// TestChaseLevGrowthInterleaved interleaves pops with growth so the
+// circular buffer wraps: the copy in grow must preserve live indices
+// modulo both the old and new masks.
+func TestChaseLevGrowthInterleaved(t *testing.T) {
+	var d deque
+	var model []*task
+	for round := 0; round < 500; round++ {
+		tk := &task{}
+		d.pushBack(tk)
+		model = append(model, tk)
+		if round%3 == 0 {
+			if got, want := d.popFront(), model[0]; got != want {
+				t.Fatalf("round %d: popFront mismatch", round)
+			}
+			model = model[1:]
+		}
+		if d.len() != len(model) {
+			t.Fatalf("round %d: len = %d want %d", round, d.len(), len(model))
+		}
+	}
+}
+
+// TestChaseLevQuickAgainstModel drives the deque with random owner and
+// thief operation sequences (sequentially, where the thief CAS cannot
+// spuriously fail) and cross-checks owner-LIFO/thief-FIFO order against
+// a plain-slice reference model, including across buffer grows.
+func TestChaseLevQuickAgainstModel(t *testing.T) {
+	type op struct{ kind int } // 0,1 push (bias growth), 2 popBack, 3 popFront
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			ops := make([]op, r.Intn(400))
+			for i := range ops {
+				ops[i] = op{r.Intn(4)}
+			}
+			args[0] = reflect.ValueOf(ops)
+		},
+	}
+	prop := func(ops []op) bool {
+		var d deque
+		var model []*task
+		for _, o := range ops {
+			switch o.kind {
+			case 0, 1:
+				tk := &task{}
+				if n := d.pushBack(tk); n != len(model)+1 {
+					return false
+				}
+				model = append(model, tk)
+			case 2:
+				got := d.popBack()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if got != want {
+						return false
+					}
+				}
+			case 3:
+				got := d.popFront()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[0]
+					model = model[1:]
+					if got != want {
+						return false
+					}
+				}
+			}
+			if d.len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaseLevMultiThiefStress is the exactly-once guarantee under real
+// contention: one owner pushing and popping, several thieves stealing
+// until the deque is provably drained. Every task must be dispensed to
+// exactly one consumer. Run with -race; the atomic buffer slots and the
+// top CAS are precisely what make this pass.
+func TestChaseLevMultiThiefStress(t *testing.T) {
+	const (
+		nTasks  = 50000
+		thieves = 4
+	)
+	var d deque
+	tasks := make([]*task, nTasks)
+	idx := make(map[*task]int, nTasks)
+	for i := range tasks {
+		tasks[i] = &task{}
+		idx[tasks[i]] = i
+	}
+	seen := make([]atomic.Int32, nTasks)
+	var dispensed atomic.Int64
+	var pushed atomic.Int64
+	take := func(tk *task) {
+		seen[idx[tk]].Add(1)
+		dispensed.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // owner: pushes all, pops some, drains at the end
+		defer wg.Done()
+		for i, tk := range tasks {
+			d.pushBack(tk)
+			pushed.Add(1)
+			if i%5 == 0 {
+				if got := d.popBack(); got != nil {
+					take(got)
+				}
+			}
+		}
+		for {
+			got := d.popBack()
+			if got == nil {
+				// A thief may still be mid-steal (top CAS pending); the
+				// deque reports empty only once top catches bottom.
+				if dispensed.Load() == nTasks {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			take(got)
+		}
+	}()
+	for g := 0; g < thieves; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dispensed.Load() < nTasks {
+				if got := d.popFront(); got != nil {
+					take(got)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("stress did not converge: pushed=%d dispensed=%d len=%d",
+			pushed.Load(), dispensed.Load(), d.len())
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("task %d dispensed %d times", i, c)
+		}
+	}
+}
+
+// TestInjectorMPMCStress checks the Michael-Scott injection queue for
+// the same exactly-once property with multiple concurrent producers and
+// consumers (the external-submitter pattern).
+func TestInjectorMPMCStress(t *testing.T) {
+	const (
+		producers   = 4
+		consumers   = 4
+		perProducer = 20000
+		total       = producers * perProducer
+	)
+	q := newInjector()
+	tasks := make([]*task, total)
+	idx := make(map[*task]int, total)
+	for i := range tasks {
+		tasks[i] = &task{}
+		idx[tasks[i]] = i
+	}
+	seen := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.pushBack(tasks[p*perProducer+i])
+			}
+		}()
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < total {
+				if tk := q.popFront(); tk != nil {
+					seen[idx[tk]].Add(1)
+					consumed.Add(1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("MPMC stress did not converge: consumed=%d len=%d",
+			consumed.Load(), q.len())
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("task %d consumed %d times", i, c)
+		}
+	}
+	if q.popFront() != nil || q.len() != 0 {
+		t.Fatal("injector not empty after drain")
+	}
+}
+
+// TestGoidFastMatchesSlow cross-checks the calibrated fast goroutine-id
+// path against the runtime.Stack parse from many goroutines. On
+// architectures without the fast path this still exercises the slow
+// parse for self-consistency.
+func TestGoidFastMatchesSlow(t *testing.T) {
+	check := func() error {
+		slow := goroutineIDSlow()
+		if got := goroutineID(); got != slow {
+			t.Errorf("goroutineID() = %d, stack header says %d", got, slow)
+		}
+		return nil
+	}
+	check()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			check()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestWorkerMapShardedLookup exercises register/lookup/unregister and
+// the negative-result cache across many distinct goroutine ids.
+func TestWorkerMapShardedLookup(t *testing.T) {
+	wm := newWorkerMap()
+	w := &worker{}
+	// Ids chosen to collide in the direct-mapped cache (same low bits).
+	a := uint64(5)
+	b := a + wmapCacheSize
+	wm.register(a, w)
+	if wm.lookup(a) != w {
+		t.Fatal("registered id not found")
+	}
+	if wm.lookup(b) != nil {
+		t.Fatal("unregistered id resolved")
+	}
+	// The b lookup displaced a's cache entry; a must still resolve via
+	// its shard.
+	if wm.lookup(a) != w {
+		t.Fatal("id lost after cache displacement")
+	}
+	wm.unregister(a)
+	if wm.lookup(a) != nil {
+		t.Fatal("unregistered id still resolves")
+	}
+}

@@ -1,65 +1,170 @@
 package taskrt
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// task is one unit of schedulable work.
+// task is one unit of schedulable work. Tasks are pooled: the scheduler
+// returns every task it obtained from a queue to taskPool after running
+// it, so steady-state spawning allocates no task structs.
 type task struct {
 	fn func(w *worker)
 }
 
-// deque is a double-ended task queue. The owning worker pushes and pops at
-// the back (LIFO, preserving locality and bounding queue growth in
-// recursive decompositions); thieves steal from the front (FIFO, taking
-// the oldest — usually largest — task). A mutex suffices here: with
-// Inncabs-scale task grains (≥1 µs) queue operations are not the
-// bottleneck, and correctness is trivially auditable.
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// newTask draws a task from the pool.
+func newTask(fn func(w *worker)) *task {
+	t := taskPool.Get().(*task)
+	t.fn = fn
+	return t
+}
+
+// freeTask returns an executed (or never-to-be-executed) task to the
+// pool. Callers must not retain t afterwards.
+func freeTask(t *task) {
+	t.fn = nil
+	taskPool.Put(t)
+}
+
+// deque is a Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; the
+// C11 formulation of Lê et al., PPoPP'13). The owning worker pushes and
+// pops at the back (LIFO, preserving locality and bounding queue growth
+// in recursive decompositions); thieves steal from the front (FIFO,
+// taking the oldest - usually largest - task).
+//
+// The owner's pushBack/popBack never take a lock and never CAS except
+// when popping the last remaining element races a thief; thieves CAS
+// top once per successful steal. This replaces the seed's mutex deque,
+// whose lock round trip dominated the spawn path at Inncabs-scale
+// grains (1-10 us).
+//
+// Elements are stored as atomic pointers: a thief may read a slot that
+// the owner concurrently recycles after a wrap-around; the subsequent
+// top CAS rejects the stale value, and the atomic access keeps the race
+// detector happy (the read-discard is benign by construction).
+//
+// top only ever grows; bottom grows on push and steps back on pop. The
+// buffer is a power-of-two circular array that the owner doubles when
+// full; thieves may keep reading a stale buffer, which is safe because
+// grow preserves every live index and retired buffers are garbage
+// collected, so no index is ever reused for a different task within a
+// buffer a thief can still see.
 type deque struct {
-	mu    sync.Mutex
-	tasks []*task
+	top    atomic.Int64
+	_      [cacheLineSize - 8]byte // keep thief-side CAS traffic off the owner's line
+	bottom atomic.Int64
+	_      [cacheLineSize - 8]byte
+	buf    atomic.Pointer[dequeBuf]
+}
+
+const cacheLineSize = 64
+
+// initialDequeCap must be a power of two.
+const initialDequeCap = 64
+
+type dequeBuf struct {
+	mask  int64
+	slots []atomic.Pointer[task]
+}
+
+func newDequeBuf(capacity int64) *dequeBuf {
+	return &dequeBuf{mask: capacity - 1, slots: make([]atomic.Pointer[task], capacity)}
 }
 
 // pushBack appends a task at the owner's end and reports the new length.
+// Owner-only.
 func (d *deque) pushBack(t *task) int {
-	d.mu.Lock()
-	d.tasks = append(d.tasks, t)
-	n := len(d.tasks)
-	d.mu.Unlock()
-	return n
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	buf := d.buf.Load()
+	if buf == nil {
+		buf = newDequeBuf(initialDequeCap)
+		d.buf.Store(buf)
+	}
+	if b-tp >= int64(len(buf.slots)) {
+		buf = d.grow(buf, tp, b)
+	}
+	buf.slots[b&buf.mask].Store(t)
+	d.bottom.Store(b + 1)
+	return int(b + 1 - tp)
 }
 
-// popBack removes the most recently pushed task (owner side).
+// grow doubles the buffer, copying live elements [tp, b). Owner-only;
+// thieves holding the old buffer still see correct values for any index
+// they can successfully claim.
+func (d *deque) grow(old *dequeBuf, tp, b int64) *dequeBuf {
+	nb := newDequeBuf(int64(len(old.slots)) * 2)
+	for i := tp; i < b; i++ {
+		nb.slots[i&nb.mask].Store(old.slots[i&old.mask].Load())
+	}
+	d.buf.Store(nb)
+	return nb
+}
+
+// popBack removes the most recently pushed task. Owner-only; CAS-free
+// except when racing thieves for the final element.
 func (d *deque) popBack() *task {
-	d.mu.Lock()
-	n := len(d.tasks)
-	if n == 0 {
-		d.mu.Unlock()
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	if buf == nil {
 		return nil
 	}
-	t := d.tasks[n-1]
-	d.tasks[n-1] = nil
-	d.tasks = d.tasks[:n-1]
-	d.mu.Unlock()
+	// Publish the claim on slot b before reading top: a thief that
+	// observes the old bottom may still race us for the last element;
+	// the CAS below arbitrates.
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if b < tp {
+		// Queue was empty: undo the reservation.
+		d.bottom.Store(tp)
+		return nil
+	}
+	t := buf.slots[b&buf.mask].Load()
+	if b > tp {
+		// More than one element: slot b is exclusively ours.
+		buf.slots[b&buf.mask].Store(nil)
+		return t
+	}
+	// Last element: race thieves for it via top.
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		t = nil // a thief won
+	} else {
+		buf.slots[b&buf.mask].Store(nil)
+	}
+	d.bottom.Store(tp + 1)
 	return t
 }
 
-// popFront removes the oldest task (thief side).
+// popFront removes the oldest task (thief side). Any goroutine. Returns
+// nil when empty or when it loses the top CAS to a concurrent pop; the
+// caller treats both as "try elsewhere", so a spurious nil only delays,
+// never loses, work.
 func (d *deque) popFront() *task {
-	d.mu.Lock()
-	if len(d.tasks) == 0 {
-		d.mu.Unlock()
+	tp := d.top.Load()
+	b := d.bottom.Load()
+	if tp >= b {
 		return nil
 	}
-	t := d.tasks[0]
-	d.tasks[0] = nil
-	d.tasks = d.tasks[1:]
-	d.mu.Unlock()
+	buf := d.buf.Load()
+	if buf == nil {
+		return nil
+	}
+	t := buf.slots[tp&buf.mask].Load()
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		return nil
+	}
 	return t
 }
 
-// len returns the current queue length.
+// len returns the current queue length (approximate under concurrency,
+// exact when quiescent).
 func (d *deque) len() int {
-	d.mu.Lock()
-	n := len(d.tasks)
-	d.mu.Unlock()
-	return n
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	if n := b - tp; n > 0 {
+		return int(n)
+	}
+	return 0
 }

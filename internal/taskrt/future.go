@@ -94,21 +94,27 @@ type Future[T any] struct {
 // LIFO/FIFO order as in HPX's local-priority scheduler).
 func Spawn[T any](rt *Runtime, policy Policy, fn func() T) *Future[T] {
 	f := &Future[T]{rt: rt, done: make(chan struct{})}
+	// One worker resolution per spawn: every path below that needs the
+	// caller's identity reuses w instead of consulting goroutine id
+	// again.
+	w := rt.currentWorker()
 	switch policy {
 	case Sync, Fork:
 		// Work-first execution at the spawn point. When on a worker, the
 		// execution is accounted as an inline task.
-		if w := rt.currentWorker(); w != nil {
-			w.executeInline(&task{fn: func(*worker) { f.run(fn) }})
+		if w != nil {
+			w.executeInline(newTask(func(*worker) { f.run(fn) }))
 		} else {
 			f.run(fn)
 		}
 	case Deferred:
 		f.fn = fn
 	default: // Async, Optional
-		if err := rt.submit(&task{fn: func(*worker) { f.run(fn) }}); err != nil {
+		t := newTask(func(*worker) { f.run(fn) })
+		if err := rt.submitFrom(w, t); err != nil {
 			// Runtime shut down: fall back to deferred execution so the
 			// future still completes when queried.
+			freeTask(t)
 			f.fn = fn
 		}
 	}
@@ -146,11 +152,12 @@ func (f *Future[T]) Wait() {
 	if f.state.Load() == futDone {
 		return
 	}
+	w := f.rt.currentWorker()
 	if f.fn != nil && f.state.Load() == futCreated {
 		// Deferred: the first waiter runs the task inline.
 		fn := f.fn
-		if w := f.rt.currentWorker(); w != nil {
-			w.executeInline(&task{fn: func(*worker) { f.run(fn) }})
+		if w != nil {
+			w.executeInline(newTask(func(*worker) { f.run(fn) }))
 		} else {
 			f.run(fn)
 		}
@@ -158,7 +165,7 @@ func (f *Future[T]) Wait() {
 			return
 		}
 	}
-	if w := f.rt.currentWorker(); w != nil {
+	if w != nil {
 		f.rt.helpWait(w, f.done)
 		return
 	}

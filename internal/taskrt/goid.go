@@ -3,15 +3,32 @@ package taskrt
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// goroutineID extracts the numeric id of the calling goroutine from its
-// stack-trace header ("goroutine 123 [running]:"). The standard library
-// deliberately hides goroutine identity; parsing the header is the only
-// stdlib-pure way to recover it. It costs on the order of a microsecond,
-// so the runtime only consults it on the Future slow path and at task
-// submission, never per queue operation.
+// goroutineID returns the numeric id of the calling goroutine.
+//
+// On amd64/arm64 this is a few nanoseconds: an assembly helper reads the
+// goid field straight out of the runtime's g struct, at an offset
+// calibrated (and cross-checked against the stack-header parse) once at
+// package init; see goid_fast.go. If calibration fails - e.g. a future
+// Go release rearranges the g struct - or on other architectures, it
+// falls back to parsing the runtime.Stack header, which costs on the
+// order of a microsecond. The fallback keeps correctness independent of
+// runtime internals; the fast path is what lets the spawn hot path
+// consult goroutine identity at all.
 func goroutineID() uint64 {
+	if id, ok := fastGoroutineID(); ok {
+		return id
+	}
+	return goroutineIDSlow()
+}
+
+// goroutineIDSlow extracts the goroutine id from its stack-trace header
+// ("goroutine 123 [running]:"). The standard library deliberately hides
+// goroutine identity; parsing the header is the only stdlib-pure way to
+// recover it.
+func goroutineIDSlow() uint64 {
 	var buf [40]byte
 	n := runtime.Stack(buf[:], false)
 	// Skip "goroutine ".
@@ -30,30 +47,77 @@ func goroutineID() uint64 {
 // workerMap associates worker goroutines with their worker structure so
 // that Async and Future.Get can detect whether they run on a worker (and
 // which) without threading a context through user code.
+//
+// Lookups are on the spawn hot path, so the map is sharded by goid hash
+// (registration from different workers never contends) and fronted by a
+// lock-free direct-mapped cache holding the most recent resolution per
+// goid slot - including negative results for external submitters, which
+// is safe because the Go runtime never reuses goroutine ids.
 type workerMap struct {
+	cache  [wmapCacheSize]atomic.Pointer[wmapEntry]
+	shards [wmapShardCount]wmapShard
+}
+
+const (
+	wmapShardCount = 16  // power of two
+	wmapCacheSize  = 256 // power of two
+)
+
+type wmapEntry struct {
+	id uint64
+	w  *worker // nil caches a negative lookup
+}
+
+type wmapShard struct {
 	mu sync.RWMutex
 	m  map[uint64]*worker
+	_  [cacheLineSize - 8]byte // keep shard locks off each other's lines
 }
 
 func newWorkerMap() *workerMap {
-	return &workerMap{m: make(map[uint64]*worker)}
+	wm := &workerMap{}
+	for i := range wm.shards {
+		wm.shards[i].m = make(map[uint64]*worker)
+	}
+	return wm
+}
+
+func (wm *workerMap) shard(id uint64) *wmapShard {
+	// Fibonacci hash: sequential goids spread across shards.
+	return &wm.shards[(id*0x9e3779b97f4a7c15)>>(64-4)&(wmapShardCount-1)]
 }
 
 func (wm *workerMap) register(id uint64, w *worker) {
-	wm.mu.Lock()
-	wm.m[id] = w
-	wm.mu.Unlock()
+	s := wm.shard(id)
+	s.mu.Lock()
+	s.m[id] = w
+	s.mu.Unlock()
+	wm.cache[id&(wmapCacheSize-1)].Store(&wmapEntry{id: id, w: w})
 }
 
 func (wm *workerMap) unregister(id uint64) {
-	wm.mu.Lock()
-	delete(wm.m, id)
-	wm.mu.Unlock()
+	s := wm.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+	slot := &wm.cache[id&(wmapCacheSize-1)]
+	if e := slot.Load(); e != nil && e.id == id {
+		slot.CompareAndSwap(e, nil)
+	}
 }
 
 func (wm *workerMap) lookup(id uint64) *worker {
-	wm.mu.RLock()
-	w := wm.m[id]
-	wm.mu.RUnlock()
+	slot := &wm.cache[id&(wmapCacheSize-1)]
+	if e := slot.Load(); e != nil && e.id == id {
+		return e.w
+	}
+	s := wm.shard(id)
+	s.mu.RLock()
+	w := s.m[id]
+	s.mu.RUnlock()
+	// Cache hits and misses alike: a goroutine that submits once tends
+	// to submit again, and goids are never reused, so a stale negative
+	// entry can only be displaced, never wrong.
+	slot.Store(&wmapEntry{id: id, w: w})
 	return w
 }

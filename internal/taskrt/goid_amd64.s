@@ -1,0 +1,15 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func getgoid(off uintptr) uint64
+//
+// Loads the current g pointer from TLS and returns the word at byte
+// offset off within the g struct. The offset is validated by the
+// calibration in goid_fast.go before it is ever trusted.
+TEXT ·getgoid(SB), NOSPLIT, $0-16
+	MOVQ (TLS), AX
+	ADDQ off+0(FP), AX
+	MOVQ (AX), AX
+	MOVQ AX, ret+8(FP)
+	RET

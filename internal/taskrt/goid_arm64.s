@@ -1,0 +1,15 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func getgoid(off uintptr) uint64
+//
+// The g pointer lives in a dedicated register (R28, spelled "g") on
+// arm64. Returns the word at byte offset off within the g struct.
+TEXT ·getgoid(SB), NOSPLIT, $0-16
+	MOVD off+0(FP), R1
+	MOVD g, R0
+	ADD  R1, R0, R0
+	MOVD (R0), R0
+	MOVD R0, ret+8(FP)
+	RET

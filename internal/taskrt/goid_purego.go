@@ -1,0 +1,8 @@
+//go:build !amd64 && !arm64
+
+package taskrt
+
+// Architectures without a getgoid assembly helper always use the
+// runtime.Stack fallback in goroutineID.
+
+func fastGoroutineID() (uint64, bool) { return 0, false }

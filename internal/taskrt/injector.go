@@ -1,0 +1,78 @@
+package taskrt
+
+import "sync/atomic"
+
+// injector is the queue tasks submitted from outside the pool land on.
+// It is a Michael-Scott MPMC linked queue (PODC'96): external producers
+// enqueue with two CASes and workers dequeue with one, so submitters
+// never serialize on a mutex the way the seed's locked deque forced
+// them to. Retired nodes are reclaimed by the garbage collector, which
+// is what makes the unbounded-node variant safe against ABA in Go.
+type injector struct {
+	head atomic.Pointer[injNode] // dummy; head.next is the queue front
+	_    [cacheLineSize - 8]byte
+	tail atomic.Pointer[injNode]
+	_    [cacheLineSize - 8]byte
+	size atomic.Int64
+}
+
+type injNode struct {
+	next atomic.Pointer[injNode]
+	task atomic.Pointer[task]
+}
+
+func newInjector() *injector {
+	q := &injector{}
+	dummy := &injNode{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// pushBack enqueues t. Safe from any goroutine.
+func (q *injector) pushBack(t *task) {
+	n := &injNode{}
+	n.task.Store(t)
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if next != nil {
+			// Tail is lagging: help the other producer along.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// popFront dequeues the oldest task, or nil when the queue is empty.
+// Safe from any goroutine.
+func (q *injector) popFront() *task {
+	for {
+		head := q.head.Load()
+		next := head.next.Load()
+		if next == nil {
+			return nil
+		}
+		t := next.task.Load()
+		if q.head.CompareAndSwap(head, next) {
+			// next is the new dummy; drop its payload reference so the
+			// task is collectable as soon as it finishes.
+			next.task.Store(nil)
+			q.size.Add(-1)
+			return t
+		}
+	}
+}
+
+// len returns the approximate queue length.
+func (q *injector) len() int {
+	if n := q.size.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}

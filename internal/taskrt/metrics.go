@@ -10,8 +10,13 @@ import (
 
 // workerMetrics aggregates the per-worker event counts the thread-manager
 // counters report. All fields are atomics: producers (the worker loop)
-// never block on consumers (counter evaluations).
+// never block on consumers (counter evaluations). The struct is padded
+// to cache-line boundaries on both sides: worker structs of one pool
+// come from the same allocation size class, so without padding the hot
+// atomics of adjacent workers can share a line and turn every counter
+// increment into cross-core traffic.
 type workerMetrics struct {
+	_              [cacheLineSize]byte
 	tasksExecuted  atomic.Int64 // completed tasks
 	taskTimeNs     atomic.Int64 // cumulative task execution time
 	overheadNs     atomic.Int64 // cumulative scheduling overhead
@@ -22,6 +27,7 @@ type workerMetrics struct {
 	started        atomic.Int64 // wall-clock ns when the worker started
 	active         atomic.Int64 // 1 while executing a task
 	inlineExecuted atomic.Int64 // tasks run inline (Fork/Sync/helping)
+	_              [cacheLineSize]byte
 }
 
 func (m *workerMetrics) reset() {

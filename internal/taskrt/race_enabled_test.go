@@ -1,0 +1,5 @@
+//go:build race
+
+package taskrt
+
+const raceEnabled = true

@@ -33,11 +33,11 @@ func WithLocality(id int64) Option {
 }
 
 // Runtime is a lightweight-task scheduler: a fixed pool of workers with
-// per-worker deques, work stealing and an injection queue for submissions
-// from non-worker goroutines.
+// per-worker lock-free deques, work stealing and a lock-free injection
+// queue for submissions from non-worker goroutines.
 type Runtime struct {
 	workers  []*worker
-	injector deque
+	injector *injector
 	wakeup   *notifier
 	wmap     *workerMap
 	locality int64
@@ -75,6 +75,7 @@ func New(opts ...Option) *Runtime {
 		o(&cfg)
 	}
 	rt := &Runtime{
+		injector: newInjector(),
 		wakeup:   newNotifier(),
 		wmap:     newWorkerMap(),
 		locality: cfg.locality,
@@ -128,39 +129,53 @@ func (w *worker) throttled() bool {
 // Locality returns the locality id used in counter names.
 func (rt *Runtime) Locality() int64 { return rt.locality }
 
-// Shutdown stops all workers after the queues drain is NOT awaited: the
+// Shutdown stops all workers; the queues drain is NOT awaited: the
 // caller is expected to have joined its futures (fork/join structure).
 // Pending tasks that were never awaited are dropped.
 func (rt *Runtime) Shutdown() {
 	if rt.closed.Swap(true) {
 		return
 	}
-	// Wake everyone so they observe the closed flag.
+	// One waiter goroutine observes the pool exit; the loop just
+	// re-notifies periodically to cover a worker that was between its
+	// closed-flag check and its park when the first notify fired.
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
 	for {
 		rt.wakeup.notify()
-		done := make(chan struct{})
-		go func() { rt.wg.Wait(); close(done) }()
 		select {
 		case <-done:
 			return
-		case <-time.After(time.Millisecond):
+		case <-tick.C:
 		}
 	}
 }
 
-// submit enqueues a task: onto the submitting worker's own queue when
-// called from a worker, otherwise onto the injection queue.
+// submit enqueues a task from an arbitrary goroutine, resolving the
+// caller's worker identity first. Internal spawn paths that already
+// know their worker call submitFrom directly and skip the lookup.
 func (rt *Runtime) submit(t *task) error {
+	return rt.submitFrom(rt.currentWorker(), t)
+}
+
+// submitFrom enqueues a task: onto the submitting worker's own queue
+// when w belongs to this runtime, otherwise onto the injection queue.
+func (rt *Runtime) submitFrom(w *worker, t *task) error {
 	if rt.closed.Load() {
 		return ErrClosed
 	}
-	begin := time.Now()
-	if w := rt.wmap.lookup(goroutineID()); w != nil && w.rt == rt {
+	if w != nil && w.rt == rt {
+		// Submission cost (queue push, metrics) is scheduling overhead
+		// paid by the spawning task's worker. Measured before the
+		// wakeup, which may hand the CPU over.
+		begin := time.Now()
 		n := w.queue.pushBack(t)
 		w.metrics.notePending(n)
-		// Submission cost (goroutine-id lookup, queue push) is
-		// scheduling overhead paid by the spawning task's worker.
-		// Measured before the wakeup, which may hand the CPU over.
 		w.metrics.overheadNs.Add(time.Since(begin).Nanoseconds())
 		rt.wakeup.notify()
 		return nil
@@ -198,8 +213,10 @@ func (w *worker) run(started <-chan struct{}) {
 		searchStart := time.Now()
 		t := w.find()
 		if t != nil {
-			w.metrics.overheadNs.Add(time.Since(searchStart).Nanoseconds())
-			w.execute(t)
+			// The search interval is folded into the task-start
+			// timestamp taken inside execute — one clock read serves
+			// both overhead accounting and the trace event.
+			w.execute(t, searchStart)
 			continue
 		}
 		// Nothing anywhere: park until new work arrives.
@@ -269,8 +286,13 @@ func (w *worker) steal() *task {
 
 // timeTask runs one task body, accounting only the task's own time (the
 // total duration minus any tasks it executed inline while waiting).
-func (w *worker) timeTask(t *task, inline bool) {
+// A non-zero searchStart charges the interval up to the task's begin
+// timestamp as scheduling overhead, reusing the one clock read.
+func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 	begin := time.Now()
+	if !searchStart.IsZero() {
+		w.metrics.overheadNs.Add(begin.Sub(searchStart).Nanoseconds())
+	}
 	saved := w.nestedNs
 	w.nestedNs = 0
 	t.fn(w)
@@ -286,20 +308,24 @@ func (w *worker) timeTask(t *task, inline bool) {
 		Duration: time.Duration(own), Inline: inline})
 }
 
-// execute runs one task from the scheduling loop.
-func (w *worker) execute(t *task) {
+// execute runs one task from the scheduling loop and recycles it.
+// searchStart is when the dispatch search for this task began.
+func (w *worker) execute(t *task, searchStart time.Time) {
 	w.metrics.active.Store(1)
 	w.nestedNs = 0 // top of the stack: nothing to report up
-	w.timeTask(t, false)
+	w.timeTask(t, false, searchStart)
 	w.metrics.active.Store(0)
+	freeTask(t)
 }
 
 // executeInline runs a task on the current goroutine (Fork/Sync policies
-// and help-first waiting), accounting it like a scheduled task but tagging
-// it as inline.
+// and help-first waiting), accounting it like a scheduled task but
+// tagging it as inline. Ownership of t transfers to the callee: the
+// task is recycled after it runs.
 func (w *worker) executeInline(t *task) {
-	w.timeTask(t, true)
+	w.timeTask(t, true, time.Time{})
 	w.metrics.inlineExecuted.Add(1)
+	freeTask(t)
 }
 
 // currentWorker returns the worker the calling goroutine belongs to, or
@@ -318,10 +344,17 @@ func (rt *Runtime) helpWait(w *worker, done <-chan struct{}) {
 	w.nestedNs = saved + time.Since(begin).Nanoseconds()
 }
 
+// helpPollInterval is the backoff while waiting for a future with no
+// runnable work; it only matters in genuinely idle phases.
+const helpPollInterval = 20 * time.Microsecond
+
 // help lets the calling worker make progress while it waits for done to
 // close: it executes local tasks first, then stolen ones, and parks on
 // done when no work exists. Returns when done is closed.
 func (rt *Runtime) help(w *worker, done <-chan struct{}) {
+	// One reusable timer across poll iterations: allocated lazily the
+	// first time this wait actually idles, reset thereafter.
+	var timer *time.Timer
 	for {
 		select {
 		case <-done:
@@ -332,16 +365,29 @@ func (rt *Runtime) help(w *worker, done <-chan struct{}) {
 			w.executeInline(t)
 			continue
 		}
-		// No runnable work: block until the future completes or new work
-		// appears. We poll with a short backoff rather than integrating
-		// done into the notifier, keeping the wait structure simple; the
-		// timeout only triggers in genuinely idle phases.
+		// No runnable work: block until the future completes or the
+		// poll interval elapses. We poll with a short backoff rather
+		// than integrating done into the notifier, keeping the wait
+		// structure simple.
 		idleStart := time.Now()
+		if timer == nil {
+			timer = time.NewTimer(helpPollInterval)
+		} else {
+			timer.Reset(helpPollInterval)
+		}
 		select {
 		case <-done:
+			if !timer.Stop() {
+				// Drain so a later Reset starts clean (pre-1.23 timer
+				// channel semantics; harmless under 1.23+).
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
 			w.metrics.idleNs.Add(time.Since(idleStart).Nanoseconds())
 			return
-		case <-time.After(20 * time.Microsecond):
+		case <-timer.C:
 			w.metrics.idleNs.Add(time.Since(idleStart).Nanoseconds())
 		}
 	}

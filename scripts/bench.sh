@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Regenerates the "current" section of BENCH_taskrt.json (spawn/join
+# round trip, goroutine-id cost, and the counter-overhead-vs-grain table
+# from the paper's Section VI) and prints the classic microbenchmarks.
+# The "seed" section is the committed pre-optimization baseline and is
+# preserved. Run on a quiet machine; every number here is a timing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== microbenchmarks =="
+go test -run=XXX -bench='SpawnGet|GoroutineID|CurrentWorkerLookup' \
+    -benchtime=200ms ./internal/taskrt/
+
+echo "== regenerating BENCH_taskrt.json =="
+TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
+    go test -count=1 -run TestWriteBenchJSON -v ./internal/taskrt/
+
+echo "== done =="
+git --no-pager diff --stat BENCH_taskrt.json || true
