@@ -2,6 +2,13 @@
 // monitors its performance counters remotely — the paper's "any counter
 // can be accessed remotely" demonstrated across processes.
 //
+// The monitor is built to outlive the thing it monitors misbehaving:
+// every request carries a deadline (-timeout), idempotent requests are
+// retried (-retries), and a sampling loop marks a failed sample as
+// missed and keeps going — it exits non-zero only if every sample
+// failed. With -stale (default on), samples taken while the target is
+// unreachable report the last-known value tagged "stale".
+//
 // Usage:
 //
 //	perfmon -addr 127.0.0.1:7110 -types
@@ -10,8 +17,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -19,20 +28,45 @@ import (
 )
 
 func main() {
-	var (
-		addr     = flag.String("addr", "127.0.0.1:7110", "parcel address of the target application")
-		types    = flag.Bool("types", false, "list the remote counter types")
-		discover = flag.String("discover", "", "expand a remote counter pattern")
-		counter  = flag.String("counter", "", "remote counter to read")
-		interval = flag.Duration("interval", time.Second, "sampling interval with -n > 1")
-		n        = flag.Int("n", 1, "number of samples")
-		reset    = flag.Bool("reset", false, "evaluate-and-reset on each sample")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cli, err := parcel.Dial(*addr, nil, 0)
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfmon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7110", "parcel address of the target application")
+		types    = fs.Bool("types", false, "list the remote counter types")
+		discover = fs.String("discover", "", "expand a remote counter pattern")
+		counter  = fs.String("counter", "", "remote counter to read")
+		interval = fs.Duration("interval", time.Second, "sampling interval with -n > 1")
+		n        = fs.Int("n", 1, "number of samples")
+		reset    = fs.Bool("reset", false, "evaluate-and-reset on each sample")
+		timeout  = fs.Duration("timeout", 2*time.Second, "per-request deadline")
+		retries  = fs.Int("retries", 2, "retries per failed idempotent request")
+		stale    = fs.Bool("stale", true, "serve last-known values while the target is unreachable")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	opts := parcel.ClientOptions{
+		Timeout:    *timeout,
+		Retries:    *retries,
+		ServeStale: *stale,
+	}
+	if *counter != "" && *n > 1 {
+		// A sampling monitor should re-probe a dead target at its own
+		// cadence, not the breaker's generic cooldown — otherwise a
+		// fast loop can run out before the breaker half-opens again.
+		opts.BreakerCooldown = *interval
+	}
+	dialCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cli, err := parcel.DialContext(dialCtx, *addr, nil, 0, opts)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "perfmon:", err)
+		return 1
 	}
 	defer cli.Close()
 
@@ -40,38 +74,56 @@ func main() {
 	case *types:
 		infos, err := cli.Types()
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "perfmon:", err)
+			return 1
 		}
 		for _, info := range infos {
-			fmt.Printf("%-55s %s\n", info.TypeName, info.HelpText)
+			fmt.Fprintf(stdout, "%-55s %s\n", info.TypeName, info.HelpText)
 		}
 	case *discover != "":
 		names, err := cli.Discover(*discover)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "perfmon:", err)
+			return 1
 		}
 		for _, name := range names {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
 	case *counter != "":
-		for i := 0; i < *n; i++ {
-			if i > 0 {
-				time.Sleep(*interval)
-			}
-			v, err := cli.Evaluate(*counter, *reset)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%s  %s = %g (count %d, %s)\n",
-				v.Time.Format(time.RFC3339), v.Name, v.Float64(), v.Count, v.Status)
-		}
+		return sampleLoop(cli, stdout, stderr, *counter, *reset, *n, *interval)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "perfmon:", err)
-	os.Exit(1)
+// sampleLoop reads the counter n times, interval apart. One failed
+// sample is not fatal to the run — the monitor must never die with the
+// application it observes — so errors are reported, the sample marked
+// missed, and the loop continues; only a run where every sample failed
+// exits non-zero.
+func sampleLoop(cli *parcel.Client, stdout, stderr io.Writer, counter string, reset bool, n int, interval time.Duration) int {
+	good := 0
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		v, err := cli.Evaluate(counter, reset)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfmon: sample %d/%d missed: %v\n", i+1, n, err)
+			continue
+		}
+		good++
+		fmt.Fprintf(stdout, "%s  %s = %g (count %d, %s)\n",
+			v.Time.Format(time.RFC3339), v.Name, v.Float64(), v.Count, v.Status)
+	}
+	if good == 0 {
+		fmt.Fprintf(stderr, "perfmon: all %d samples failed\n", n)
+		return 1
+	}
+	if missed := n - good; missed > 0 {
+		fmt.Fprintf(stderr, "perfmon: %d/%d samples missed\n", missed, n)
+	}
+	return 0
 }

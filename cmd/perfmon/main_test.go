@@ -1,0 +1,154 @@
+package main
+
+// The monitor must not die with the thing it monitors: the sampling
+// loop tolerates a server that is killed and restarted mid-run, marks
+// missed samples, and exits non-zero only when every sample failed.
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parcel"
+)
+
+const testCounter = "/threads{locality#0/total}/count/cumulative"
+
+func startServer(t *testing.T, addr string, value int64) *parcel.Server {
+	t.Helper()
+	reg := core.NewRegistry()
+	c := core.NewRawCounter(
+		core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "total", -1)...),
+		core.Info{TypeName: "/threads/count/cumulative", HelpText: "tasks"})
+	reg.MustRegister(c)
+	c.Add(value)
+	var srv *parcel.Server
+	var err error
+	// The restart path rebinds a just-released port; give the OS a few
+	// tries before declaring failure.
+	for attempt := 0; attempt < 50; attempt++ {
+		srv, err = parcel.Serve(addr, reg, 0)
+		if err == nil {
+			return srv
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("Serve(%s): %v", addr, err)
+	return nil
+}
+
+func TestSampleLoopSurvivesServerRestart(t *testing.T) {
+	srv := startServer(t, "127.0.0.1:0", 5)
+	addr := srv.Addr()
+
+	var stdout, stderr bytes.Buffer
+	rc := make(chan int, 1)
+	go func() {
+		rc <- run([]string{
+			"-addr", addr,
+			"-counter", testCounter,
+			"-n", "40", "-interval", "50ms",
+			"-timeout", "300ms", "-retries", "1",
+		}, &stdout, &stderr)
+	}()
+
+	// Kill the server mid-loop, leave it dead for a while, resurrect it
+	// on the same address with a different counter value.
+	time.Sleep(500 * time.Millisecond)
+	srv.Close()
+	time.Sleep(500 * time.Millisecond)
+	srv2 := startServer(t, addr, 9)
+	defer srv2.Close()
+
+	var code int
+	select {
+	case code = <-rc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sampling loop did not finish")
+	}
+	out, errs := stdout.String(), stderr.String()
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (loop must survive the restart)\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	if !strings.Contains(out, "= 5") {
+		t.Fatalf("no pre-restart samples:\n%s", out)
+	}
+	if !strings.Contains(out, "= 9") {
+		t.Fatalf("no post-restart samples — loop never recovered:\n%s\nstderr:\n%s", out, errs)
+	}
+	// During the outage the last-known value is served as stale.
+	if !strings.Contains(out, "stale") {
+		t.Fatalf("no stale samples during the outage:\n%s\nstderr:\n%s", out, errs)
+	}
+}
+
+func TestSampleLoopAllFailedExitsNonZero(t *testing.T) {
+	// A server that accepts but never answers: with -stale=false every
+	// sample times out, and only then is the run itself a failure.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ln.Addr().String(),
+		"-counter", testCounter,
+		"-n", "3", "-interval", "10ms",
+		"-timeout", "200ms", "-retries", "0", "-stale=false",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("exit code 0 with an unresponsive target\nstderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "all 3 samples failed") {
+		t.Fatalf("missing all-failed diagnostic:\n%s", stderr.String())
+	}
+}
+
+func TestSingleMissedSampleStillSucceeds(t *testing.T) {
+	srv := startServer(t, "127.0.0.1:0", 5)
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", srv.Addr(),
+		"-counter", "/nosuch{locality#0/total}/counter",
+		"-n", "1", "-timeout", "300ms",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("all samples failed but exit code is 0")
+	}
+	// Mixed run: first the bad counter fails, then plenty of good ones.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{
+		"-addr", srv.Addr(),
+		"-counter", testCounter,
+		"-n", "2", "-interval", "1ms", "-timeout", "300ms",
+	}, &stdout, &stderr)
+	if code != 0 || strings.Count(stdout.String(), "= 5") != 2 {
+		t.Fatalf("clean run: code %d\n%s\n%s", code, stdout.String(), stderr.String())
+	}
+}

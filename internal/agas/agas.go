@@ -13,6 +13,7 @@ package agas
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -67,12 +68,32 @@ type CounterProvider interface {
 	Evaluate(fullName string, reset bool) (core.Value, error)
 }
 
+// Health is the observed condition of one remote endpoint, updated on
+// every routed counter query. Stale answers (core.StatusStale) count as
+// failures: the transport delivered a cached value, not the endpoint.
+type Health struct {
+	// Consecutive is the current run of failed queries; 0 means the last
+	// query succeeded.
+	Consecutive int
+	// Successes and Failures count queries over the endpoint's lifetime.
+	Successes, Failures int64
+	// LastError describes the most recent failure.
+	LastError string
+	// LastSuccess and LastFailure timestamp the most recent outcomes.
+	LastSuccess, LastFailure time.Time
+}
+
+// Healthy reports whether the endpoint answered its last query.
+func (h Health) Healthy() bool { return h.Consecutive == 0 }
+
 // Resolver maps locality ids to localities (in-process) and remote
-// counter providers (other processes, reached through package parcel).
+// counter providers (other processes, reached through package parcel),
+// and tracks each remote endpoint's health.
 type Resolver struct {
 	mu         sync.RWMutex
 	localities map[int64]*Locality
 	remotes    map[int64]CounterProvider
+	health     map[int64]*Health
 }
 
 // NewResolver creates an empty resolver.
@@ -80,6 +101,7 @@ func NewResolver() *Resolver {
 	return &Resolver{
 		localities: make(map[int64]*Locality),
 		remotes:    make(map[int64]CounterProvider),
+		health:     make(map[int64]*Health),
 	}
 }
 
@@ -96,7 +118,45 @@ func (r *Resolver) BindRemote(id int64, p CounterProvider) error {
 		return fmt.Errorf("agas: locality#%d already bound remotely", id)
 	}
 	r.remotes[id] = p
+	r.health[id] = &Health{}
 	return nil
+}
+
+// Health returns the recorded condition of a remote endpoint; ok is
+// false for ids never bound via BindRemote.
+func (r *Resolver) Health(id int64) (Health, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h := r.health[id]
+	if h == nil {
+		return Health{}, false
+	}
+	return *h, true
+}
+
+// recordHealth folds one remote query outcome into the endpoint's
+// health record.
+func (r *Resolver) recordHealth(id int64, err error, stale bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.health[id]
+	if h == nil {
+		return
+	}
+	if err == nil && !stale {
+		h.Consecutive = 0
+		h.Successes++
+		h.LastSuccess = time.Now()
+		return
+	}
+	h.Consecutive++
+	h.Failures++
+	h.LastFailure = time.Now()
+	if err != nil {
+		h.LastError = err.Error()
+	} else {
+		h.LastError = "stale value served (endpoint unreachable)"
+	}
 }
 
 // Bind registers a locality; rebinding an id is an error.
@@ -178,11 +238,35 @@ func (r *Resolver) EvaluateCounter(fullName string, reset bool) (core.Value, err
 	remote := r.remotes[id]
 	r.mu.RUnlock()
 	if remote != nil {
-		return remote.Evaluate(fullName, reset)
+		v, err := remote.Evaluate(fullName, reset)
+		r.recordHealth(id, err, v.Status == core.StatusStale)
+		return v, err
 	}
 	l, err := r.Resolve(id)
 	if err != nil {
 		return core.Value{Name: fullName, Status: core.StatusCounterUnknown}, err
 	}
 	return l.registry.Evaluate(fullName, reset)
+}
+
+// EvaluateAcross evaluates one counter per full name, across however
+// many localities the names resolve to, and never fails the batch: a
+// name whose locality is down or unknown yields a gap — a Value whose
+// Status says why (stale, unknown, invalid) — so aggregation degrades
+// to partial results instead of erroring because one locality died.
+func (r *Resolver) EvaluateAcross(fullNames []string, reset bool) []core.Value {
+	out := make([]core.Value, len(fullNames))
+	for i, name := range fullNames {
+		v, err := r.EvaluateCounter(name, reset)
+		if err != nil {
+			if v.Name == "" {
+				v.Name = name
+			}
+			if v.Valid() {
+				v.Status = core.StatusInvalidData
+			}
+		}
+		out[i] = v
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package agas
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -110,5 +111,125 @@ func TestEvaluateCounterCrossLocality(t *testing.T) {
 	}
 	if _, err := r.EvaluateCounter("/threads{locality#0/total}/count/cumulative", false); err == nil {
 		t.Fatal("missing counter on locality 0 accepted")
+	}
+}
+
+// flakyProvider is a CounterProvider whose behaviour the test flips:
+// healthy, erroring, or serving stale values.
+type flakyProvider struct {
+	fail  bool
+	stale bool
+	v     core.Value
+}
+
+func (f *flakyProvider) Evaluate(name string, reset bool) (core.Value, error) {
+	if f.fail {
+		return core.Value{Name: name, Status: core.StatusCounterUnknown},
+			errors.New("flaky: endpoint down")
+	}
+	v := f.v
+	v.Name = name
+	if f.stale {
+		v.Status = core.StatusStale
+	}
+	return v, nil
+}
+
+func TestRemoteEndpointHealthTracking(t *testing.T) {
+	r := NewResolver()
+	fp := &flakyProvider{v: core.Value{Raw: 7, Status: core.StatusValid}}
+	if err := r.BindRemote(3, fp); err != nil {
+		t.Fatal(err)
+	}
+	name := "/threads{locality#3/total}/count/cumulative"
+
+	if _, ok := r.Health(99); ok {
+		t.Fatal("health reported for an unbound locality")
+	}
+	h, ok := r.Health(3)
+	if !ok || !h.Healthy() || h.Successes != 0 {
+		t.Fatalf("initial health = %+v, %v", h, ok)
+	}
+
+	if _, err := r.EvaluateCounter(name, false); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = r.Health(3)
+	if !h.Healthy() || h.Successes != 1 || h.LastSuccess.IsZero() {
+		t.Fatalf("health after success = %+v", h)
+	}
+
+	fp.fail = true
+	for i := 0; i < 2; i++ {
+		if _, err := r.EvaluateCounter(name, false); err == nil {
+			t.Fatal("failing endpoint reported success")
+		}
+	}
+	h, _ = r.Health(3)
+	if h.Healthy() || h.Consecutive != 2 || h.Failures != 2 ||
+		h.LastError != "flaky: endpoint down" || h.LastFailure.IsZero() {
+		t.Fatalf("health after failures = %+v", h)
+	}
+
+	// A stale answer means the endpoint did NOT answer — transport served
+	// a cache — so it counts against health despite the nil error.
+	fp.fail = false
+	fp.stale = true
+	if _, err := r.EvaluateCounter(name, false); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = r.Health(3)
+	if h.Healthy() || h.Consecutive != 3 {
+		t.Fatalf("health after stale = %+v", h)
+	}
+
+	// Recovery resets the consecutive run.
+	fp.stale = false
+	if _, err := r.EvaluateCounter(name, false); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = r.Health(3)
+	if !h.Healthy() || h.Consecutive != 0 || h.Successes != 2 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+}
+
+func TestEvaluateAcrossPartialResults(t *testing.T) {
+	r := NewResolver()
+	l0 := NewLocality(0, "up")
+	if err := r.Bind(l0); err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewRawCounter(
+		core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "total", -1)...),
+		core.Info{TypeName: "/threads/count/cumulative"})
+	l0.Registry().MustRegister(c)
+	c.Add(11)
+	down := &flakyProvider{fail: true}
+	if err := r.BindRemote(1, down); err != nil {
+		t.Fatal(err)
+	}
+
+	names := []string{
+		"/threads{locality#0/total}/count/cumulative", // healthy local
+		"/threads{locality#1/total}/count/cumulative", // dead remote
+		"/threads{locality#5/total}/count/cumulative", // unknown locality
+		"garbage", // unparsable
+	}
+	vals := r.EvaluateAcross(names, false)
+	if len(vals) != len(names) {
+		t.Fatalf("EvaluateAcross returned %d values for %d names", len(vals), len(names))
+	}
+	if vals[0].Raw != 11 || !vals[0].Valid() {
+		t.Fatalf("healthy entry = %+v", vals[0])
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i].Valid() {
+			t.Fatalf("gap %d reported valid: %+v", i, vals[i])
+		}
+		if vals[i].Name == "" {
+			t.Fatalf("gap %d lost its name", i)
+		}
 	}
 }

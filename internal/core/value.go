@@ -20,6 +20,12 @@ const (
 	StatusInvalidData
 	// StatusCounterUnknown means no such counter instance exists.
 	StatusCounterUnknown
+	// StatusStale means the value is a previously captured reading served
+	// from a cache because the owning locality is currently unreachable.
+	// The Value's Time field still carries the original capture time, so
+	// consumers can compute the reading's age; aggregations should treat
+	// stale values as explicit gaps, not fresh data.
+	StatusStale
 )
 
 // String returns the status name.
@@ -33,6 +39,8 @@ func (s Status) String() string {
 		return "invalid-data"
 	case StatusCounterUnknown:
 		return "unknown"
+	case StatusStale:
+		return "stale"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -81,6 +89,14 @@ func (v Value) Int64() int64 { return int64(v.Float64()) }
 
 // Valid reports whether the value may be used.
 func (v Value) Valid() bool { return v.Status == StatusValid || v.Status == StatusNewData }
+
+// Stale reports whether the value is a cached reading from an
+// unreachable locality.
+func (v Value) Stale() bool { return v.Status == StatusStale }
+
+// Age returns how old the reading is at the given instant — most useful
+// for stale values, whose Time is the original capture time.
+func (v Value) Age(now time.Time) time.Duration { return now.Sub(v.Time) }
 
 // Unit labels for counter metadata.
 const (

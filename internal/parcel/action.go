@@ -11,6 +11,7 @@ package parcel
 // observe both through the same counters.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -108,6 +109,13 @@ func (s *Server) invoke(req request) response {
 // Invoke calls a remote action synchronously, decoding the result into
 // out (pass nil to discard it).
 func (c *Client) Invoke(action string, arg any, out any) error {
+	return c.InvokeContext(context.Background(), action, arg, out)
+}
+
+// InvokeContext is Invoke under a caller deadline. Invocations are
+// never retried — the client cannot know whether a lost response means
+// the action ran — so a transport failure surfaces after one attempt.
+func (c *Client) InvokeContext(ctx context.Context, action string, arg any, out any) error {
 	var raw json.RawMessage
 	if arg != nil {
 		b, err := json.Marshal(arg)
@@ -116,7 +124,7 @@ func (c *Client) Invoke(action string, arg any, out any) error {
 		}
 		raw = b
 	}
-	resp, err := c.roundTrip(request{Op: "invoke", Action: action, Arg: raw})
+	resp, err := c.roundTripContext(ctx, request{Op: "invoke", Action: action, Arg: raw})
 	if err != nil {
 		return err
 	}
@@ -152,10 +160,17 @@ func (f *RemoteFuture[R]) Ready() bool {
 // InvokeAsync launches a remote action and returns immediately with a
 // future — the distributed analogue of taskrt's Async.
 func InvokeAsync[A, R any](c *Client, action string, arg A) *RemoteFuture[R] {
+	return InvokeAsyncContext[A, R](context.Background(), c, action, arg)
+}
+
+// InvokeAsyncContext is InvokeAsync under a caller deadline: the
+// future's Get reports ctx's error if the deadline lapses before the
+// remote result arrives.
+func InvokeAsyncContext[A, R any](ctx context.Context, c *Client, action string, arg A) *RemoteFuture[R] {
 	f := &RemoteFuture[R]{done: make(chan struct{})}
 	go func() {
 		defer close(f.done)
-		f.err = c.Invoke(action, arg, &f.value)
+		f.err = c.InvokeContext(ctx, action, arg, &f.value)
 	}()
 	return f
 }

@@ -1,0 +1,273 @@
+// Package chaos is a deterministic fault-injection transport for the
+// parcel layer: it wraps net.Conn / net.Listener / a dial function and
+// — driven by a seeded PRNG or explicit fault budgets — delays, drops,
+// truncates and corrupts parcel frames, or partitions the endpoint
+// entirely. It lets every fault-tolerance path (retries, deadlines,
+// circuit breaker, stale serving) be exercised in-process and
+// reproducibly, with exact injected-fault counts to assert against.
+//
+// Faults fire on Write, i.e. per parcel frame, since both client and
+// server emit one Write (or bufio flush) per parcel:
+//
+//   - delay: the frame is delivered only after Delay has passed — the
+//     writer returns immediately, modelling network latency, so a
+//     reader's deadline still governs how long the caller blocks.
+//   - drop: the connection is closed mid-exchange without delivering
+//     the frame.
+//   - truncate: half the frame is delivered, then the connection is
+//     closed — a mid-frame connection drop.
+//   - corrupt: one non-delimiter byte is flipped and the frame
+//     delivered in full — the peer sees syntactically broken JSON.
+//   - partition: every write on existing connections fails and new
+//     dials are refused until the partition heals.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injected-fault sentinel errors, as seen by the faulted writer.
+var (
+	// ErrInjectedDrop reports a connection killed before the frame left.
+	ErrInjectedDrop = errors.New("chaos: injected connection drop")
+	// ErrInjectedTruncate reports a connection killed mid-frame.
+	ErrInjectedTruncate = errors.New("chaos: injected mid-frame truncation")
+	// ErrPartitioned reports a refused dial or write while partitioned.
+	ErrPartitioned = errors.New("chaos: endpoint partitioned")
+)
+
+// Config sets the probabilistic fault mix. Probabilities are evaluated
+// per frame in the order drop, delay, truncate, corrupt over a single
+// roll, so their sum must be ≤ 1.
+type Config struct {
+	// Seed fixes the PRNG; the same seed yields the same fault schedule.
+	Seed int64
+	// DropProb is the probability a frame's connection is dropped.
+	DropProb float64
+	// DelayProb is the probability a frame is delivered Delay late.
+	DelayProb float64
+	// Delay is how late a delayed frame arrives.
+	Delay time.Duration
+	// TruncateProb is the probability a frame is cut mid-way.
+	TruncateProb float64
+	// CorruptProb is the probability one byte of a frame is flipped.
+	CorruptProb float64
+}
+
+// Stats is a snapshot of injected-fault counts.
+type Stats struct {
+	Delays, Drops, Truncates, Corrupts, Refusals int64
+}
+
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDrop
+	faultDelay
+	faultTruncate
+	faultCorrupt
+)
+
+// Injector decides, deterministically, which frames fault. One
+// injector may back any number of connections; the fault schedule is
+// the interleaving-independent sequence of PRNG rolls plus whatever
+// explicit budgets (ForceDrop etc.) are outstanding.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partitioned atomic.Bool
+
+	// Explicit budgets consumed before any probabilistic roll — for
+	// table tests that need "exactly the next N frames fault".
+	forceDrops, forceDelays, forceTruncs, forceCorrupts atomic.Int64
+
+	delays, drops, truncates, corrupts, refusals atomic.Int64
+}
+
+// New builds an injector for the given fault mix.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Partition cuts (true) or heals (false) the endpoint: dials are
+// refused and writes on live wrapped connections fail.
+func (in *Injector) Partition(on bool) { in.partitioned.Store(on) }
+
+// Partitioned reports whether the endpoint is currently cut off.
+func (in *Injector) Partitioned() bool { return in.partitioned.Load() }
+
+// ForceDrop makes the next n frames drop, ahead of any probability.
+func (in *Injector) ForceDrop(n int) { in.forceDrops.Add(int64(n)) }
+
+// ForceDelay makes the next n frames arrive Delay late.
+func (in *Injector) ForceDelay(n int) { in.forceDelays.Add(int64(n)) }
+
+// ForceTruncate makes the next n frames cut off mid-way.
+func (in *Injector) ForceTruncate(n int) { in.forceTruncs.Add(int64(n)) }
+
+// ForceCorrupt makes the next n frames carry one flipped byte.
+func (in *Injector) ForceCorrupt(n int) { in.forceCorrupts.Add(int64(n)) }
+
+// Stats snapshots how many faults have actually been injected.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Delays:    in.delays.Load(),
+		Drops:     in.drops.Load(),
+		Truncates: in.truncates.Load(),
+		Corrupts:  in.corrupts.Load(),
+		Refusals:  in.refusals.Load(),
+	}
+}
+
+// takeBudget consumes one unit of an explicit fault budget.
+func takeBudget(b *atomic.Int64) bool {
+	for {
+		n := b.Load()
+		if n <= 0 {
+			return false
+		}
+		if b.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// roll decides the fate of one frame.
+func (in *Injector) roll() fault {
+	switch {
+	case takeBudget(&in.forceDrops):
+		return faultDrop
+	case takeBudget(&in.forceDelays):
+		return faultDelay
+	case takeBudget(&in.forceTruncs):
+		return faultTruncate
+	case takeBudget(&in.forceCorrupts):
+		return faultCorrupt
+	}
+	c := in.cfg
+	if c.DropProb == 0 && c.DelayProb == 0 && c.TruncateProb == 0 && c.CorruptProb == 0 {
+		return faultNone
+	}
+	in.mu.Lock()
+	r := in.rng.Float64()
+	in.mu.Unlock()
+	switch {
+	case r < c.DropProb:
+		return faultDrop
+	case r < c.DropProb+c.DelayProb:
+		return faultDelay
+	case r < c.DropProb+c.DelayProb+c.TruncateProb:
+		return faultTruncate
+	case r < c.DropProb+c.DelayProb+c.TruncateProb+c.CorruptProb:
+		return faultCorrupt
+	default:
+		return faultNone
+	}
+}
+
+// Wrap puts one connection behind the injector.
+func (in *Injector) Wrap(c net.Conn) net.Conn { return &conn{Conn: c, in: in} }
+
+// Dialer returns a parcel.ClientOptions.Dialer that dials TCP and
+// wraps every connection; dials are refused while partitioned.
+func (in *Injector) Dialer() func(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		if in.partitioned.Load() {
+			in.refusals.Add(1)
+			return nil, ErrPartitioned
+		}
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(c), nil
+	}
+}
+
+// Listen wraps a listener so every accepted connection faults — the
+// server-side mirror of Dialer, for parcel.NewServer.
+func (in *Injector) Listen(l net.Listener) net.Listener { return &listener{Listener: l, in: in} }
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if l.in.partitioned.Load() {
+		l.in.refusals.Add(1)
+		c.Close()
+		return nil, ErrPartitioned
+	}
+	return l.in.Wrap(c), nil
+}
+
+// conn applies the injector's verdicts to each written frame.
+type conn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.in.partitioned.Load() {
+		c.in.refusals.Add(1)
+		c.Conn.Close()
+		return 0, ErrPartitioned
+	}
+	switch c.in.roll() {
+	case faultDrop:
+		c.in.drops.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjectedDrop
+	case faultDelay:
+		c.in.delays.Add(1)
+		// Deliver late from the writer's point of view: the frame is in
+		// flight, the writer unblocked, and the reader's deadline — not
+		// this sleep — bounds how long anyone waits.
+		data := append([]byte(nil), p...)
+		inner := c.Conn
+		time.AfterFunc(c.in.cfg.Delay, func() {
+			inner.SetWriteDeadline(time.Now().Add(time.Second))
+			inner.Write(data)
+		})
+		return len(p), nil
+	case faultTruncate:
+		c.in.truncates.Add(1)
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		return n, ErrInjectedTruncate
+	case faultCorrupt:
+		c.in.corrupts.Add(1)
+		data := append([]byte(nil), p...)
+		flipNonDelimiter(data)
+		return c.Conn.Write(data)
+	default:
+		return c.Conn.Write(p)
+	}
+}
+
+// flipNonDelimiter corrupts one byte while preserving the newline
+// framing, so the peer reads a complete — but broken — parcel.
+func flipNonDelimiter(p []byte) {
+	for i := range p {
+		if p[i] != '\n' {
+			p[i] ^= 0x20
+			return
+		}
+	}
+}

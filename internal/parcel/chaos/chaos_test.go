@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeServer accepts one connection and echoes lines back.
+func pipeServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, DropProb: 0.2, DelayProb: 0.1, CorruptProb: 0.1}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		if fa, fb := a.roll(), b.roll(); fa != fb {
+			t.Fatalf("roll %d diverged: %v vs %v", i, fa, fb)
+		}
+	}
+	// And a different seed diverges somewhere.
+	c := New(Config{Seed: 43, DropProb: 0.2, DelayProb: 0.1, CorruptProb: 0.1})
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.roll() != c.roll() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestForcedFaultsFireExactly(t *testing.T) {
+	in := New(Config{}) // no probabilistic faults
+	in.ForceDrop(2)
+	in.ForceCorrupt(1)
+	got := []fault{in.roll(), in.roll(), in.roll(), in.roll()}
+	want := []fault{faultDrop, faultDrop, faultCorrupt, faultNone}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("roll sequence = %v, want %v", got, want)
+		}
+	}
+	st := in.Stats()
+	if st.Drops != 0 || st.Corrupts != 0 {
+		t.Fatalf("stats counted rolls that never hit a conn: %+v", st)
+	}
+}
+
+func TestDropClosesConnection(t *testing.T) {
+	ln := pipeServer(t)
+	in := New(Config{})
+	cc, err := in.Dialer()(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if _, err := cc.Write([]byte("ok\n")); err != nil {
+		t.Fatalf("clean write: %v", err)
+	}
+	in.ForceDrop(1)
+	if _, err := cc.Write([]byte("doomed\n")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("dropped write error = %v", err)
+	}
+	if st := in.Stats(); st.Drops != 1 {
+		t.Fatalf("drop not counted: %+v", st)
+	}
+	// The underlying connection is dead.
+	if _, err := cc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on dropped connection succeeded")
+	}
+}
+
+func TestDelayDeliversLate(t *testing.T) {
+	ln := pipeServer(t)
+	in := New(Config{Delay: 150 * time.Millisecond})
+	cc, err := in.Dialer()(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	in.ForceDelay(1)
+	start := time.Now()
+	if _, err := cc.Write([]byte("late\n")); err != nil {
+		t.Fatalf("delayed write should not error: %v", err)
+	}
+	if since := time.Since(start); since > 50*time.Millisecond {
+		t.Fatalf("delayed write blocked the writer for %v", since)
+	}
+	buf := make([]byte, 16)
+	cc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := cc.Read(buf)
+	if err != nil || string(buf[:n]) != "late\n" {
+		t.Fatalf("echo after delay = %q, %v", buf[:n], err)
+	}
+	if since := time.Since(start); since < 140*time.Millisecond {
+		t.Fatalf("frame arrived after only %v, want ≥ Delay", since)
+	}
+}
+
+func TestCorruptFlipsByteKeepsFraming(t *testing.T) {
+	ln := pipeServer(t)
+	in := New(Config{})
+	cc, err := in.Dialer()(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	in.ForceCorrupt(1)
+	if _, err := cc.Write([]byte("abc\n")); err != nil {
+		t.Fatalf("corrupted write should still deliver: %v", err)
+	}
+	buf := make([]byte, 16)
+	cc.SetReadDeadline(time.Now().Add(time.Second))
+	n, err := cc.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(buf[:n])
+	if got == "abc\n" {
+		t.Fatal("frame arrived uncorrupted")
+	}
+	if got[len(got)-1] != '\n' {
+		t.Fatalf("corruption broke framing: %q", got)
+	}
+}
+
+func TestPartitionRefusesDialsAndWrites(t *testing.T) {
+	ln := pipeServer(t)
+	in := New(Config{})
+	dial := in.Dialer()
+	cc, err := dial(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	in.Partition(true)
+	if _, err := dial(context.Background(), ln.Addr().String()); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial during partition = %v", err)
+	}
+	if _, err := cc.Write([]byte("x\n")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write during partition = %v", err)
+	}
+	if st := in.Stats(); st.Refusals != 2 {
+		t.Fatalf("refusals = %d, want 2", st.Refusals)
+	}
+	in.Partition(false)
+	cc2, err := dial(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	cc2.Close()
+}
+
+func TestTruncateCutsMidFrame(t *testing.T) {
+	ln := pipeServer(t)
+	in := New(Config{})
+	cc, err := in.Dialer()(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	in.ForceTruncate(1)
+	n, err := cc.Write([]byte("0123456789\n"))
+	if !errors.Is(err, ErrInjectedTruncate) {
+		t.Fatalf("truncated write error = %v", err)
+	}
+	if n == 0 || n >= 11 {
+		t.Fatalf("truncated write delivered %d bytes, want partial frame", n)
+	}
+}

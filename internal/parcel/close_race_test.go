@@ -1,0 +1,122 @@
+package parcel
+
+// The Server.Close contract under concurrency: Close must return even
+// with idle or mid-request connections open (it force-closes them), a
+// handler accepted concurrently with Close must never leak past
+// wg.Wait, and double Close is safe. Run in CI under -race.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func closeWithin(t *testing.T, srv *Server, d time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("Server.Close did not return — leaked handler or wedged accept loop")
+	}
+}
+
+// TestServeDialCloseCycle cycles Serve/Dial/Close with a concurrent
+// in-flight request, 100 times; any handler leaked past wg.Wait or
+// unsynchronised accept/close ordering shows up under -race or as a
+// hang.
+func TestServeDialCloseCycle(t *testing.T) {
+	name := "/threads{locality#0/total}/count/cumulative"
+	for i := 0; i < 100; i++ {
+		reg := core.NewRegistry()
+		c := core.NewRawCounter(
+			core.Name{Object: "threads", Counter: "count/cumulative"}.
+				WithInstances(core.LocalityInstance(0, "total", -1)...),
+			core.Info{TypeName: "/threads/count/cumulative"})
+		reg.MustRegister(c)
+		srv, err := Serve("127.0.0.1:0", reg, 0)
+		if err != nil {
+			t.Fatalf("cycle %d Serve: %v", i, err)
+		}
+		cli, err := DialContext(context.Background(), srv.Addr(), nil, 1,
+			ClientOptions{Timeout: 2 * time.Second, Retries: -1, BreakerThreshold: -1})
+		if err != nil {
+			t.Fatalf("cycle %d Dial: %v", i, err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Races the Close below: success and failure are both fine,
+			// hanging or a race report is not.
+			cli.Evaluate(name, false)
+		}()
+		closeWithin(t, srv, 5*time.Second)
+		wg.Wait()
+		cli.Close()
+	}
+}
+
+// TestCloseWithIdleConnection: an idle client holds its connection
+// open; Close must not wait for the peer to go away.
+func TestCloseWithIdleConnection(t *testing.T) {
+	reg := core.NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Establish the server-side handler by exchanging one parcel.
+	if _, err := cli.Types(); err != nil {
+		t.Fatal(err)
+	}
+	closeWithin(t, srv, 2*time.Second)
+}
+
+// TestDoubleClose: Close twice (including concurrently) is safe.
+func TestDoubleClose(t *testing.T) {
+	reg := core.NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Close()
+		}()
+	}
+	wg.Wait()
+	closeWithin(t, srv, time.Second)
+}
+
+// TestDialAfterClose: connections racing into a closing server are
+// refused or dropped, never serviced by a leaked handler.
+func TestDialAfterClose(t *testing.T) {
+	reg := core.NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	closeWithin(t, srv, time.Second)
+	cli, err := DialContext(context.Background(), addr, nil, 1,
+		ClientOptions{Timeout: 300 * time.Millisecond, Retries: -1, BreakerThreshold: -1})
+	if err != nil {
+		return // refused outright: fine
+	}
+	defer cli.Close()
+	if _, err := cli.Types(); err == nil {
+		t.Fatal("request serviced by a closed server")
+	}
+}

@@ -4,10 +4,21 @@
 // counter access and the transport a distributed monitor (cmd/perfmon)
 // attaches through.
 //
-// Parcel traffic is itself counted: both ends expose
-// /parcels{locality#L/total}/count/{sent,received} and
-// /parcels{locality#L/total}/data/{sent,received} counters, mirroring
-// HPX's parcelport counter group.
+// The transport is built to be *non-fatal to the application it
+// observes* (docs/FAULTS.md): every remote call carries a deadline, the
+// client transparently reconnects and retries idempotent requests with
+// exponential backoff, a circuit breaker fast-fails a dead endpoint,
+// and the client can serve last-known counter values tagged
+// core.StatusStale while a locality is unreachable. The server bounds
+// request sizes and applies per-connection read/write deadlines so a
+// slow or malicious peer cannot wedge a handler.
+//
+// Parcel traffic — and the fault plane itself — is counted: both ends
+// expose /parcels{locality#L/total}/count/{sent,received,errors,
+// retries,timeouts}, /parcels{locality#L/total}/data/{sent,received}
+// and the client a /parcels{locality#L/total}/breaker/state gauge,
+// mirroring HPX's parcelport counter group. A monitor can watch the
+// monitor.
 package parcel
 
 import (
@@ -18,6 +29,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -32,6 +44,22 @@ type request struct {
 	Arg     json.RawMessage `json:"arg,omitempty"`
 }
 
+// idempotent reports whether the request can be safely re-sent after a
+// transport failure: the client cannot know whether the server executed
+// a request whose response was lost, so only side-effect-free requests
+// may be retried blindly. Reads with reset, active-set mutation and
+// action invocation are never retried.
+func (r request) idempotent() bool {
+	switch r.Op {
+	case "evaluate", "evaluate_active":
+		return !r.Reset
+	case "discover", "types":
+		return true
+	default: // add_active, reset_active, invoke, unknown ops
+		return false
+	}
+}
+
 // response is one parcel from server to client.
 type response struct {
 	Error  string          `json:"error,omitempty"`
@@ -42,20 +70,31 @@ type response struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
-// meters counts parcels and bytes on one endpoint.
+// ProtocolError is a typed wire-protocol violation: oversized or
+// malformed parcels. The server reports it in the response and keeps
+// the connection alive — bad input must never kill a handler.
+type ProtocolError struct{ Reason string }
+
+// Error implements error.
+func (e *ProtocolError) Error() string { return "parcel: protocol: " + e.Reason }
+
+// ErrParcelTooLarge is returned (and reported to the peer) when a
+// request line exceeds the server's maximum parcel size.
+var ErrParcelTooLarge = &ProtocolError{Reason: "parcel exceeds maximum size"}
+
+// meters counts parcels, bytes and faults on one endpoint.
 type meters struct {
 	sent, received         *core.RawCounter
 	dataSent, dataReceived *core.RawCounter
+	errors                 *core.RawCounter // transport/protocol failures
+	retries                *core.RawCounter // re-sent idempotent requests
+	timeouts               *core.RawCounter // deadline-exceeded failures (subset of errors)
 }
 
 func newMeters(reg *core.Registry, locality int64, register bool) (*meters, error) {
 	m := &meters{}
 	mk := func(counter, help, unit string) (*core.RawCounter, error) {
-		cn := core.Name{Object: "parcels", Counter: counter}.
-			WithInstances(core.LocalityInstance(locality, "total", -1)...)
-		c := core.NewRawCounter(cn, core.Info{
-			TypeName: "/parcels/" + counter, HelpText: help, Unit: unit, Version: "1.0",
-		})
+		c := newParcelCounter(locality, counter, help, unit)
 		if register {
 			if err := reg.Register(c); err != nil {
 				return nil, err
@@ -76,7 +115,56 @@ func newMeters(reg *core.Registry, locality int64, register bool) (*meters, erro
 	if m.dataReceived, err = mk("data/received", "parcel bytes received", core.UnitBytes); err != nil {
 		return nil, err
 	}
+	if m.errors, err = mk("count/errors", "failed parcel exchanges (transport or protocol)", core.UnitEvents); err != nil {
+		return nil, err
+	}
+	if m.retries, err = mk("count/retries", "idempotent parcel requests re-sent after a failure", core.UnitEvents); err != nil {
+		return nil, err
+	}
+	if m.timeouts, err = mk("count/timeouts", "parcel exchanges that exceeded their deadline", core.UnitEvents); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+func newParcelCounter(locality int64, counter, help, unit string) *core.RawCounter {
+	cn := core.Name{Object: "parcels", Counter: counter}.
+		WithInstances(core.LocalityInstance(locality, "total", -1)...)
+	return core.NewRawCounter(cn, core.Info{
+		TypeName: "/parcels/" + counter, HelpText: help, Unit: unit, Version: "1.0",
+	})
+}
+
+// ServerOptions tunes the server's defensive limits. The zero value
+// selects the defaults noted on each field.
+type ServerOptions struct {
+	// ReadTimeout is the maximum idle time waiting for the next request
+	// on a connection before it is closed. Default 2m; negative disables.
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-response write budget. Default 10s;
+	// negative disables.
+	WriteTimeout time.Duration
+	// MaxParcelSize bounds one request line in bytes; oversized parcels
+	// get an ErrParcelTooLarge response and the rest of the line is
+	// discarded. Default 1 MiB.
+	MaxParcelSize int
+}
+
+// DefaultMaxParcelSize bounds a request line when ServerOptions leaves
+// MaxParcelSize zero.
+const DefaultMaxParcelSize = 1 << 20
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 2 * time.Minute
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.MaxParcelSize <= 0 {
+		o.MaxParcelSize = DefaultMaxParcelSize
+	}
+	return o
 }
 
 // Server exposes a registry's counters over TCP.
@@ -84,25 +172,44 @@ type Server struct {
 	reg      *core.Registry
 	listener net.Listener
 	meters   *meters
+	opts     ServerOptions
 	actions  atomic.Value // *ActionMap
 	wg       sync.WaitGroup
-	closed   chan struct{}
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed chan struct{}
 }
 
-// Serve starts a server on addr (e.g. "127.0.0.1:0") exposing reg. The
-// server's parcel counters are registered into the same registry under
-// the given locality id, so they are remotely queryable themselves.
+// Serve starts a server on addr (e.g. "127.0.0.1:0") exposing reg with
+// default options. The server's parcel counters are registered into the
+// same registry under the given locality id, so they are remotely
+// queryable themselves.
 func Serve(addr string, reg *core.Registry, locality int64) (*Server, error) {
+	return ServeOptions(addr, reg, locality, ServerOptions{})
+}
+
+// ServeOptions is Serve with explicit defensive limits.
+func ServeOptions(addr string, reg *core.Registry, locality int64, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	return NewServer(ln, reg, locality, opts)
+}
+
+// NewServer serves on an existing listener — the hook for wrapping the
+// accept path in a fault-injection listener (package chaos).
+func NewServer(ln net.Listener, reg *core.Registry, locality int64, opts ServerOptions) (*Server, error) {
 	m, err := newMeters(reg, locality, true)
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
-	s := &Server{reg: reg, listener: ln, meters: m, closed: make(chan struct{})}
+	s := &Server{
+		reg: reg, listener: ln, meters: m, opts: opts.withDefaults(),
+		conns: make(map[net.Conn]struct{}), closed: make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -111,12 +218,48 @@ func Serve(addr string, reg *core.Registry, locality int64) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the server and waits for connection handlers.
+// Close stops the server: it closes the listener and every live
+// connection, then waits for all handlers. Safe to call more than once.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	default:
+	}
 	close(s.closed)
 	err := s.listener.Close()
+	// Force-close live connections so handlers blocked in a read return
+	// immediately instead of wedging wg.Wait until the peer goes away.
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// track registers a new connection; it refuses (and the caller must
+// close) connections accepted after Close started, which closes the
+// window where an in-flight accept could leak a handler past wg.Wait.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -131,6 +274,10 @@ func (s *Server) acceptLoop() {
 				continue
 			}
 		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -138,28 +285,43 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	defer s.untrack(conn)
 	defer conn.Close()
 	rd := bufio.NewReader(conn)
 	wr := bufio.NewWriter(conn)
 	for {
-		line, err := rd.ReadBytes('\n')
-		if err != nil {
-			return
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
 		}
-		s.meters.received.Inc()
-		s.meters.dataReceived.Add(int64(len(line)))
-		var req request
+		line, err := readBoundedLine(rd, s.opts.MaxParcelSize)
 		var resp response
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp.Error = "parcel: malformed request: " + err.Error()
-		} else {
-			resp = s.dispatch(req)
+		switch {
+		case err == nil:
+			s.meters.received.Inc()
+			s.meters.dataReceived.Add(int64(len(line)))
+			var req request
+			if jerr := json.Unmarshal(line, &req); jerr != nil {
+				s.meters.errors.Inc()
+				perr := &ProtocolError{Reason: "malformed request: " + jerr.Error()}
+				resp.Error = perr.Error()
+			} else {
+				resp = s.dispatch(req)
+			}
+		case errors.Is(err, ErrParcelTooLarge):
+			// The oversized line was drained; report and keep serving.
+			s.meters.errors.Inc()
+			resp.Error = fmt.Sprintf("%s (%d bytes max)", ErrParcelTooLarge.Error(), s.opts.MaxParcelSize)
+		default:
+			return // connection gone or idle deadline hit
 		}
 		out, err := json.Marshal(resp)
 		if err != nil {
 			out = []byte(`{"error":"parcel: response marshal failure"}`)
 		}
 		out = append(out, '\n')
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
 		if _, err := wr.Write(out); err != nil {
 			return
 		}
@@ -168,6 +330,48 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		s.meters.sent.Inc()
 		s.meters.dataSent.Add(int64(len(out)))
+	}
+}
+
+// readBoundedLine reads one newline-terminated request, refusing lines
+// over max bytes. On an oversized line it discards through the next
+// newline and returns ErrParcelTooLarge, leaving the stream aligned on
+// the following request.
+func readBoundedLine(rd *bufio.Reader, max int) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := rd.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		switch {
+		case err == nil:
+			if len(buf) > max {
+				return nil, ErrParcelTooLarge
+			}
+			return buf, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			if len(buf) > max {
+				return nil, drainLine(rd)
+			}
+		default:
+			return buf, err
+		}
+	}
+}
+
+// drainLine discards input through the next newline, then reports the
+// oversized parcel; a transport error while draining wins, since the
+// connection is unusable anyway.
+func drainLine(rd *bufio.Reader) error {
+	for {
+		_, err := rd.ReadSlice('\n')
+		switch {
+		case err == nil:
+			return ErrParcelTooLarge
+		case errors.Is(err, bufio.ErrBufferFull):
+			// keep draining
+		default:
+			return err
+		}
 	}
 }
 
@@ -208,149 +412,3 @@ func (s *Server) dispatch(req request) response {
 		return response{Error: fmt.Sprintf("parcel: unknown op %q", req.Op)}
 	}
 }
-
-// Client queries a remote registry. It is safe for concurrent use; each
-// request/response pair is serialised on the single connection.
-type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	rd     *bufio.Reader
-	meters *meters
-}
-
-// Dial connects to a parcel server. Pass a registry and locality to
-// register the client's own parcel counters, or nil to skip.
-func Dial(addr string, reg *core.Registry, locality int64) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	var m *meters
-	if reg != nil {
-		if m, err = newMeters(reg, locality, true); err != nil {
-			conn.Close()
-			return nil, err
-		}
-	} else {
-		if m, err = newMeters(nil, locality, false); err != nil {
-			conn.Close()
-			return nil, err
-		}
-	}
-	return &Client{conn: conn, rd: bufio.NewReader(conn), meters: m}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(req request) (response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out, err := json.Marshal(req)
-	if err != nil {
-		return response{}, err
-	}
-	out = append(out, '\n')
-	if _, err := c.conn.Write(out); err != nil {
-		return response{}, err
-	}
-	c.meters.sent.Inc()
-	c.meters.dataSent.Add(int64(len(out)))
-	line, err := c.rd.ReadBytes('\n')
-	if err != nil {
-		return response{}, err
-	}
-	c.meters.received.Inc()
-	c.meters.dataReceived.Add(int64(len(line)))
-	var resp response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return response{}, err
-	}
-	if resp.Error != "" {
-		return resp, errors.New(resp.Error)
-	}
-	return resp, nil
-}
-
-// Evaluate reads one remote counter, optionally resetting it.
-func (c *Client) Evaluate(name string, reset bool) (core.Value, error) {
-	resp, err := c.roundTrip(request{Op: "evaluate", Name: name, Reset: reset})
-	if err != nil {
-		return core.Value{Name: name, Status: core.StatusCounterUnknown}, err
-	}
-	if resp.Value == nil {
-		return core.Value{Name: name, Status: core.StatusInvalidData},
-			errors.New("parcel: empty evaluate response")
-	}
-	return *resp.Value, nil
-}
-
-// Discover expands a counter pattern remotely.
-func (c *Client) Discover(pattern string) ([]string, error) {
-	resp, err := c.roundTrip(request{Op: "discover", Pattern: pattern})
-	return resp.Names, err
-}
-
-// Types lists the remote registry's counter types.
-func (c *Client) Types() ([]core.Info, error) {
-	resp, err := c.roundTrip(request{Op: "types"})
-	return resp.Infos, err
-}
-
-// AddActive adds counters to the remote active set.
-func (c *Client) AddActive(pattern string) ([]string, error) {
-	resp, err := c.roundTrip(request{Op: "add_active", Pattern: pattern})
-	return resp.Names, err
-}
-
-// EvaluateActive evaluates the remote active set.
-func (c *Client) EvaluateActive(reset bool) ([]core.Value, error) {
-	resp, err := c.roundTrip(request{Op: "evaluate_active", Reset: reset})
-	return resp.Values, err
-}
-
-// ResetActive resets the remote active set.
-func (c *Client) ResetActive() error {
-	_, err := c.roundTrip(request{Op: "reset_active"})
-	return err
-}
-
-// RemoteCounter adapts one remote counter to the local core.Counter
-// interface, so meta counters and tooling can consume remote data
-// transparently — the uniformity the paper's framework is built on.
-type RemoteCounter struct {
-	client *Client
-	name   core.Name
-	info   core.Info
-}
-
-// NewRemoteCounter builds a counter proxy for a full remote name.
-func NewRemoteCounter(client *Client, fullName string) (*RemoteCounter, error) {
-	n, err := core.ParseName(fullName)
-	if err != nil {
-		return nil, err
-	}
-	return &RemoteCounter{
-		client: client,
-		name:   n,
-		info:   core.Info{TypeName: n.TypeName(), HelpText: "remote proxy for " + fullName},
-	}, nil
-}
-
-// Name implements core.Counter.
-func (r *RemoteCounter) Name() core.Name { return r.name }
-
-// Info implements core.Counter.
-func (r *RemoteCounter) Info() core.Info { return r.info }
-
-// Value implements core.Counter.
-func (r *RemoteCounter) Value(reset bool) core.Value {
-	v, err := r.client.Evaluate(r.name.String(), reset)
-	if err != nil {
-		return core.Value{Name: r.name.String(), Status: core.StatusInvalidData}
-	}
-	return v
-}
-
-// Reset implements core.Counter.
-func (r *RemoteCounter) Reset() { _, _ = r.client.Evaluate(r.name.String(), true) }

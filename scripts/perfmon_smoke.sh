@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fault smoke test: a perfmon sampling loop must survive its target
+# being killed and restarted mid-run. Run under a 60s timeout in CI:
+#
+#   timeout 60 bash scripts/perfmon_smoke.sh
+#
+# The script starts smokeserver, points a 40-sample perfmon loop at it,
+# kills the server one second in, restarts it a second later on the
+# same port, and requires the loop to finish with exit code 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN" ./cmd/perfmon ./scripts/smokeserver
+
+ADDR=127.0.0.1:${SMOKE_PORT:-7117}
+COUNTER='/threads{locality#0/total}/count/cumulative'
+
+"$BIN/smokeserver" -addr "$ADDR" &
+SRV=$!
+sleep 0.5
+
+"$BIN/perfmon" -addr "$ADDR" -counter "$COUNTER" \
+  -n 40 -interval 100ms -timeout 500ms -retries 2 &
+MON=$!
+
+sleep 1
+echo "perfmon_smoke: killing server mid-sampling"
+kill "$SRV"
+wait "$SRV" 2>/dev/null || true
+
+sleep 1
+echo "perfmon_smoke: restarting server"
+"$BIN/smokeserver" -addr "$ADDR" &
+SRV=$!
+
+RC=0
+wait "$MON" || RC=$?
+kill "$SRV" 2>/dev/null || true
+wait "$SRV" 2>/dev/null || true
+
+if [ "$RC" -ne 0 ]; then
+    echo "perfmon_smoke: FAIL — sampling loop died with exit code $RC"
+    exit "$RC"
+fi
+echo "perfmon_smoke: OK — loop survived the restart"
