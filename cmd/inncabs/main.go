@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,15 +37,31 @@ func main() {
 		benchName = flag.String("bench", "fib", "benchmark name")
 		rtName    = flag.String("runtime", "hpx", "runtime: hpx or std")
 		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads (hpx runtime)")
-		sizeStr   = flag.String("size", "small", "workload size: test, small, medium, paper")
+		sizeStr   = flag.String("size", "small", "workload size: test, small, medium, paper, huge")
 		samples   = flag.Int("samples", 3, "measurement samples (paper protocol: 20)")
 		policyStr = flag.String("policy", "async", "launch policy: async, sync, fork, deferred, optional")
 		listBench = flag.Bool("list-benchmarks", false, "list benchmarks and exit")
 		all       = flag.Bool("all", false, "run and verify the whole suite, print a summary table")
 		tracePath = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the task schedule to this file (hpx runtime)")
+		deadline  = flag.Duration("deadline", 0, "cancel the measurement after this long (0 = unbounded); cancellable benchmarks stop cooperatively")
+		watchdog  = flag.Bool("watchdog", false, "run the runtime health watchdog and log events to stderr (hpx runtime)")
 	)
 	opts := perfcli.Bind(flag.CommandLine)
 	flag.Parse()
+
+	// A task panic surfaces at the joining Get as a *taskrt.PanicError
+	// carrying the panic value and the worker's stack at panic time —
+	// report it as a diagnosis instead of an anonymous crash.
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*taskrt.PanicError)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintf(os.Stderr, "inncabs: benchmark task panicked: %v\ntask stack:\n%s", pe.Value, pe.Stack)
+			os.Exit(1)
+		}
+	}()
 
 	if *listBench {
 		for _, b := range inncabs.All() {
@@ -71,12 +88,20 @@ func main() {
 
 	reg := core.NewRegistry()
 	var rt inncabs.Runtime
+	var trt *taskrt.Runtime
 	switch *rtName {
 	case "hpx":
-		trt := taskrt.New(taskrt.WithWorkers(*threads))
+		trt = taskrt.New(taskrt.WithWorkers(*threads))
 		defer trt.Shutdown()
 		if err := trt.RegisterCounters(reg); err != nil {
 			fatal(err)
+		}
+		if *watchdog {
+			trt.StartWatchdog(taskrt.WatchdogConfig{
+				OnEvent: func(ev taskrt.HealthEvent) {
+					fmt.Fprintf(os.Stderr, "inncabs: health: %s\n", ev)
+				},
+			})
 		}
 		if *tracePath != "" {
 			trt.EnableTracing(0)
@@ -106,6 +131,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown runtime %q (hpx or std)", *rtName))
 	}
+	if *watchdog && trt == nil {
+		fmt.Fprintln(os.Stderr, "inncabs: -watchdog only applies to the hpx runtime; ignored")
+	}
 
 	session, err := opts.Start(reg)
 	if err != nil {
@@ -126,29 +154,72 @@ func main() {
 	}
 
 	fmt.Printf("benchmark %s on %s, %s size, %d sample(s)\n", b.Name, rt.Name(), size, *samples)
-	want := b.RefChecksum(size)
+	// The deadline clock starts here, bounding the measurement itself
+	// rather than runtime setup.
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	var checksum int64
-	summary := stats.Repeat(*samples, func() float64 {
+	var times []float64
+	var runErr error
+	for i := 0; i < *samples; i++ {
 		start := time.Now()
-		checksum = b.Run(rt, size)
+		checksum, runErr = runBounded(ctx, b, rt, size)
 		elapsed := time.Since(start)
+		if runErr != nil {
+			break
+		}
 		if session != nil {
 			session.Sample() // the paper's evaluate-and-reset per sample
 		}
-		return elapsed.Seconds()
-	})
+		times = append(times, elapsed.Seconds())
+	}
 	if session != nil {
 		if err := session.Close(); err != nil {
 			fatal(err)
 		}
 	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "inncabs: run cancelled after %d complete sample(s): %v\n", len(times), runErr)
+		if trt != nil {
+			fmt.Fprintf(os.Stderr, "inncabs: tasks dropped at dispatch: %d, shed inline: %d\n",
+				trt.Cancelled(), trt.Shed())
+		}
+		os.Exit(1)
+	}
 	status := "OK"
-	if checksum != want {
+	// The sequential reference can cost as much as the run itself at the
+	// big sizes, so it is computed only after the measurement finished.
+	if want := b.RefChecksum(size); checksum != want {
 		status = fmt.Sprintf("CHECKSUM MISMATCH (got %d want %d)", checksum, want)
 		defer os.Exit(1)
 	}
 	fmt.Printf("verification: %s\n", status)
-	fmt.Printf("execution time [s]: %s\n", summary)
+	fmt.Printf("execution time [s]: %s\n", stats.Summarize(times))
+}
+
+// runBounded runs one sample under ctx. Benchmarks with a cancellable
+// kernel (RunCtx) observe the context cooperatively and drain quickly
+// on cancellation; the rest are abandoned in a goroutine at the
+// deadline — acceptable only because the process exits right after.
+func runBounded(ctx context.Context, b *inncabs.Benchmark, rt inncabs.Runtime, size inncabs.Size) (int64, error) {
+	if b.RunCtx != nil {
+		return b.RunCtx(ctx, rt, size)
+	}
+	if ctx.Done() == nil { // unbounded: avoid the extra goroutine
+		return b.Run(rt, size), nil
+	}
+	done := make(chan int64, 1)
+	go func() { done <- b.Run(rt, size) }()
+	select {
+	case sum := <-done:
+		return sum, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
 }
 
 // runSuite executes every benchmark, verifying checksums, and prints a

@@ -45,6 +45,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 2*time.Second, "per-request deadline")
 		retries  = fs.Int("retries", 2, "retries per failed idempotent request")
 		stale    = fs.Bool("stale", true, "serve last-known values while the target is unreachable")
+		deadline = fs.Duration("deadline", 0, "total run deadline for the sampling loop (0 = unbounded)")
+		watchdog = fs.Duration("watchdog", 0, "warn when no sample has succeeded for this long (0 = off)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -90,7 +92,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, name)
 		}
 	case *counter != "":
-		return sampleLoop(cli, stdout, stderr, *counter, *reset, *n, *interval)
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		return sampleLoop(ctx, cli, stdout, stderr, *counter, *reset, *n, *interval, *watchdog)
 	default:
 		fs.Usage()
 		return 2
@@ -102,19 +110,39 @@ func run(argv []string, stdout, stderr io.Writer) int {
 // sample is not fatal to the run — the monitor must never die with the
 // application it observes — so errors are reported, the sample marked
 // missed, and the loop continues; only a run where every sample failed
-// exits non-zero.
-func sampleLoop(cli *parcel.Client, stdout, stderr io.Writer, counter string, reset bool, n int, interval time.Duration) int {
+// exits non-zero. ctx bounds the whole loop (requests and the sleeps
+// between them); a lapsed deadline stops the run with exit code 1.
+// With watchdog > 0, one warning is printed per stall episode: when no
+// sample has succeeded for that long, and again only after a recovery.
+func sampleLoop(ctx context.Context, cli *parcel.Client, stdout, stderr io.Writer,
+	counter string, reset bool, n int, interval, watchdog time.Duration) int {
 	good := 0
+	lastGood := time.Now()
+	stallWarned := false
 	for i := 0; i < n; i++ {
 		if i > 0 {
-			time.Sleep(interval)
+			select {
+			case <-time.After(interval):
+			case <-ctx.Done():
+			}
 		}
-		v, err := cli.Evaluate(counter, reset)
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(stderr, "perfmon: run deadline reached after %d/%d samples: %v\n", i, n, err)
+			return 1
+		}
+		v, err := cli.EvaluateContext(ctx, counter, reset)
 		if err != nil {
 			fmt.Fprintf(stderr, "perfmon: sample %d/%d missed: %v\n", i+1, n, err)
+			if watchdog > 0 && !stallWarned && time.Since(lastGood) >= watchdog {
+				fmt.Fprintf(stderr, "perfmon: watchdog: no successful sample for %v\n",
+					time.Since(lastGood).Round(time.Millisecond))
+				stallWarned = true
+			}
 			continue
 		}
 		good++
+		lastGood = time.Now()
+		stallWarned = false
 		fmt.Fprintf(stdout, "%s  %s = %g (count %d, %s)\n",
 			v.Time.Format(time.RFC3339), v.Name, v.Float64(), v.Count, v.Status)
 	}

@@ -1,0 +1,84 @@
+package core
+
+import "testing"
+
+// Seed corpus: the counter-name shapes documented in docs/COUNTERS.md —
+// plain types, full instance names, wildcards, statistics meta counters
+// embedding a base name, and arithmetics parameter lists.
+var nameSeeds = []string{
+	"/threads/count/cumulative",
+	"/threads{locality#0/total}/count/cumulative",
+	"/threads{locality#0/worker-thread#3}/time/average",
+	"/threads{locality#*/worker-thread#*}/idle-rate",
+	"/threadqueue{locality#0/worker-thread#0}/length",
+	"/runtime{locality#0/total}/uptime",
+	"/runtime{locality#0/total}/count/cancelled",
+	"/runtime{locality#0/total}/health/stalled-tasks",
+	"/runtime{locality#0/worker-thread#1}/health/starved-workers",
+	"/counters{locality#0/total}/count/errors",
+	"/scheduler{locality#0/total}/utilization/instantaneous",
+	"/parcels{locality#0/total}/count/errors",
+	"/agas{locality#0/total}/count/resolve",
+	"/papi{locality#0/total}/PAPI_TOT_CYC",
+	"/statistics{/threads{locality#0/total}/count/cumulative}/average@100",
+	"/statistics{/threads{locality#0/total}/idle-rate}/rolling_average@50,10",
+	"/arithmetics/add@/threads{locality#0/total}/count/cumulative,/threads{locality#1/total}/count/cumulative",
+	"/threads{locality#0/total}/count/instantaneous/pending",
+	"/objectname{parentinstancename#2/instancename#3}/counter/path",
+	"/threads",
+	"/",
+	"",
+	"threads/count",
+	"/threads{}/count",
+	"/threads{locality#0/total/count",
+	"/threads{locality#-1/total}/count",
+	"/threads{locality#999999999999999999999/total}/count",
+	"/a{b#0}/c@",
+	"/a{{}}/b",
+	"/a{b#*}/c@x,y,z",
+}
+
+// FuzzParseName checks that ParseName never panics and that accepted
+// names survive a format/reparse round trip unchanged.
+func FuzzParseName(f *testing.F) {
+	for _, s := range nameSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseName(s)
+		if err != nil {
+			return // rejected input: only panics are failures
+		}
+		out := n.String()
+		n2, err := ParseName(out)
+		if err != nil {
+			t.Fatalf("ParseName(%q) ok, but reparse of String() %q failed: %v", s, out, err)
+		}
+		if again := n2.String(); again != out {
+			t.Fatalf("String not a fixpoint: %q -> %q -> %q", s, out, again)
+		}
+	})
+}
+
+// FuzzMatchPattern checks that MatchPattern never panics on any pair of
+// parseable names and that a wildcard-free name always matches itself.
+func FuzzMatchPattern(f *testing.F) {
+	for i, p := range nameSeeds {
+		f.Add(p, nameSeeds[(i+1)%len(nameSeeds)])
+		f.Add(p, p)
+	}
+	f.Fuzz(func(t *testing.T, pat, name string) {
+		pn, err := ParseName(pat)
+		if err != nil {
+			return
+		}
+		nn, err := ParseName(name)
+		if err != nil {
+			return
+		}
+		_ = MatchPattern(pn, nn) // must not panic
+		if !hasWildcard(nn) && !MatchPattern(nn, nn) {
+			t.Fatalf("wildcard-free name %q does not match itself", nn.String())
+		}
+	})
+}

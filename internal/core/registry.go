@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Factory creates a counter instance for a parsed full name. The registry
@@ -28,10 +29,15 @@ type Registry struct {
 	types     map[string]*typeEntry
 	instances map[string]Counter
 	active    map[string]Counter
+	// evalErrors counts counter evaluations that panicked and were
+	// converted to StatusInvalidData, exposed as the
+	// /counters{locality#0/total}/count/errors self-counter.
+	evalErrors atomic.Int64
 }
 
 // NewRegistry creates an empty registry with the meta counter families
-// (/statistics/..., /arithmetics/...) pre-registered.
+// (/statistics/..., /arithmetics/...) pre-registered, plus the
+// /counters/count/errors self-counter tracking evaluation panics.
 func NewRegistry() *Registry {
 	r := &Registry{
 		types:     make(map[string]*typeEntry),
@@ -40,7 +46,55 @@ func NewRegistry() *Registry {
 	}
 	registerStatistics(r)
 	registerArithmetics(r)
+	errName := Name{Object: "counters", Counter: "count/errors"}.
+		WithInstances(LocalityInstance(0, "total", -1)...)
+	errInfo := Info{TypeName: "/counters/count/errors",
+		HelpText: "counter evaluations that panicked (value reported as invalid-data)",
+		Unit:     UnitEvents, Version: "1.0"}
+	r.MustRegister(NewFuncCounter(errName, errInfo, 0,
+		r.evalErrors.Load, func() { r.evalErrors.Store(0) }))
 	return r
+}
+
+// EvalErrors returns the number of counter evaluations that panicked
+// since creation (or the last reset of the self-counter).
+func (r *Registry) EvalErrors() int64 { return r.evalErrors.Load() }
+
+// safeValue evaluates one counter, isolating panics: a panicking Value
+// yields a StatusInvalidData result for that counter only and bumps the
+// registry's error self-counter, so one broken provider cannot abort a
+// whole evaluation sweep.
+func (r *Registry) safeValue(c Counter, reset bool) (v Value) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.evalErrors.Add(1)
+			v = Value{Name: c.Name().String(), Time: now(), Status: StatusInvalidData}
+		}
+	}()
+	return c.Value(reset)
+}
+
+// safeReset resets one counter, absorbing panics like safeValue.
+func (r *Registry) safeReset(c Counter) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.evalErrors.Add(1)
+		}
+	}()
+	c.Reset()
+}
+
+// closeCounter releases a counter that lost a registration race and will
+// never be served, so factory-held resources are not leaked.
+func closeCounter(c Counter) {
+	switch x := c.(type) {
+	case interface{ Close() error }:
+		_ = x.Close()
+	case interface{ Close() }:
+		x.Close()
+	case Startable:
+		x.Stop()
+	}
 }
 
 // RegisterType registers a counter type. Instances are created lazily by
@@ -150,21 +204,30 @@ func (r *Registry) get(n Name) (Counter, error) {
 		return nil, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if existing, ok := r.instances[key]; ok { // lost a race; keep the first
+	if existing, ok := r.instances[key]; ok {
+		// Lost a creation race: two goroutines resolved the same name
+		// concurrently and both ran the factory. First registration
+		// wins — every caller must see the same instance, or resets
+		// and stateful counters would split across twins. The loser is
+		// closed (if it holds resources) and discarded.
+		r.mu.Unlock()
+		closeCounter(c)
 		return existing, nil
 	}
 	r.instances[key] = c
+	r.mu.Unlock()
 	return c, nil
 }
 
-// Evaluate reads one counter by full name.
+// Evaluate reads one counter by full name. A panicking Counter.Value is
+// isolated: the result carries StatusInvalidData and the registry's
+// /counters/count/errors self-counter is incremented.
 func (r *Registry) Evaluate(fullName string, reset bool) (Value, error) {
 	c, err := r.Get(fullName)
 	if err != nil {
 		return Value{Name: fullName, Status: StatusCounterUnknown}, err
 	}
-	return c.Value(reset), nil
+	return r.safeValue(c, reset), nil
 }
 
 // Types returns the metadata of all registered counter types, sorted by
@@ -295,6 +358,9 @@ func (r *Registry) RemoveActive(fullName string) {
 
 // EvaluateActive evaluates every counter in the active set, optionally
 // resetting each as part of the same read. Results are ordered by name.
+// A counter whose Value panics does not abort the sweep: its entry
+// carries StatusInvalidData and the remaining counters are evaluated
+// normally.
 func (r *Registry) EvaluateActive(reset bool) []Value {
 	r.mu.RLock()
 	counters := make([]Counter, 0, len(r.active))
@@ -307,7 +373,7 @@ func (r *Registry) EvaluateActive(reset bool) []Value {
 	})
 	values := make([]Value, len(counters))
 	for i, c := range counters {
-		values[i] = c.Value(reset)
+		values[i] = r.safeValue(c, reset)
 	}
 	return values
 }
@@ -321,7 +387,7 @@ func (r *Registry) ResetActive() {
 	}
 	r.mu.RUnlock()
 	for _, c := range counters {
-		c.Reset()
+		r.safeReset(c)
 	}
 }
 

@@ -17,6 +17,7 @@
 package inncabs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,6 +44,69 @@ type Runtime interface {
 	Name() string
 }
 
+// CtxRuntime is implemented by runtimes whose tasks can join a
+// cancellation scope. The cancellable kernels (RunCtx) use it when
+// available and degrade to spawn-time context checks otherwise.
+type CtxRuntime interface {
+	Runtime
+	// AsyncCtx launches fn with ctx as its cancellation scope.
+	AsyncCtx(ctx context.Context, fn func() any) Future
+}
+
+// errFuture is implemented by futures that can report how the task
+// completed without re-panicking (taskrt's Future does).
+type errFuture interface {
+	GetErr() (any, error)
+}
+
+// asyncCtx launches fn under ctx on rt, using native cancellation
+// support when the runtime has it. Without native support the context
+// is only consulted at spawn time.
+func asyncCtx(ctx context.Context, rt Runtime, fn func() any) Future {
+	if c, ok := rt.(CtxRuntime); ok {
+		return c.AsyncCtx(ctx, fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return cancelledFuture{err}
+	}
+	return rt.Async(fn)
+}
+
+// getErr waits for a future and separates value from failure: cancelled
+// or panicked tasks surface as an error instead of a re-panic.
+func getErr(f Future) (any, error) {
+	if e, ok := f.(errFuture); ok {
+		return e.GetErr()
+	}
+	return f.Get(), nil
+}
+
+// cancelledFuture is the dead-on-arrival future for runtimes without
+// native cancellation.
+type cancelledFuture struct{ err error }
+
+func (f cancelledFuture) Get() any             { return nil }
+func (f cancelledFuture) GetErr() (any, error) { return nil, f.err }
+
+// ctxProbe amortizes ctx.Err checks inside tight sequential kernels:
+// the context is consulted every 256 calls and the result latches.
+type ctxProbe struct {
+	ctx  context.Context
+	n    uint32
+	dead bool
+}
+
+func (p *ctxProbe) cancelled() bool {
+	if p.dead {
+		return true
+	}
+	p.n++
+	if p.n&255 == 0 && p.ctx.Err() != nil {
+		p.dead = true
+	}
+	return p.dead
+}
+
 // HPXRuntime adapts taskrt to the benchmark interface.
 type HPXRuntime struct {
 	// RT is the underlying lightweight runtime.
@@ -59,6 +123,12 @@ func NewHPX(rt *taskrt.Runtime) *HPXRuntime {
 // Async implements Runtime.
 func (h *HPXRuntime) Async(fn func() any) Future {
 	return taskrt.Spawn(h.RT, h.Policy, fn)
+}
+
+// AsyncCtx implements CtxRuntime: the task joins ctx's cancellation
+// tree, so tasks still queued when ctx dies are dropped at dispatch.
+func (h *HPXRuntime) AsyncCtx(ctx context.Context, fn func() any) Future {
+	return taskrt.SpawnCtx(ctx, h.RT, h.Policy, fn)
 }
 
 // NewMutex implements Runtime with the instrumented task-runtime mutex.
@@ -102,6 +172,10 @@ const (
 	Medium
 	// Paper matches the paper's input sets (or its documented scaling).
 	Paper
+	// Huge exceeds the paper's inputs; minutes-scale spawn storms used
+	// to exercise cancellation and overload shedding. Benchmarks without
+	// an explicit Huge preset fall back to their Paper parameters.
+	Huge
 )
 
 // String names the size.
@@ -115,6 +189,8 @@ func (s Size) String() string {
 		return "medium"
 	case Paper:
 		return "paper"
+	case Huge:
+		return "huge"
 	default:
 		return fmt.Sprintf("size(%d)", int(s))
 	}
@@ -131,6 +207,8 @@ func ParseSize(s string) (Size, error) {
 		return Medium, nil
 	case "paper":
 		return Paper, nil
+	case "huge":
+		return Huge, nil
 	default:
 		return Test, fmt.Errorf("inncabs: unknown size %q", s)
 	}
@@ -165,6 +243,11 @@ type Benchmark struct {
 	// Run executes the real benchmark on rt and returns a checksum that
 	// tests verify against RefChecksum.
 	Run func(rt Runtime, size Size) int64
+	// RunCtx, when set, is the cancellable variant: it observes ctx
+	// cooperatively and returns early with a non-nil error once the
+	// context dies (the partial checksum is meaningless then). Only the
+	// long-running kernels implement it.
+	RunCtx func(ctx context.Context, rt Runtime, size Size) (int64, error)
 	// RefChecksum returns the expected checksum for a size (computed by
 	// a sequential reference inside the package).
 	RefChecksum func(size Size) int64

@@ -60,13 +60,13 @@ func TestByName(t *testing.T) {
 }
 
 func TestSizes(t *testing.T) {
-	for _, s := range []Size{Test, Small, Medium, Paper} {
+	for _, s := range []Size{Test, Small, Medium, Paper, Huge} {
 		p, err := ParseSize(s.String())
 		if err != nil || p != s {
 			t.Errorf("round-trip %v: %v %v", s, p, err)
 		}
 	}
-	if _, err := ParseSize("huge"); err == nil {
+	if _, err := ParseSize("gigantic"); err == nil {
 		t.Error("ParseSize accepted bogus size")
 	}
 	if Size(99).String() == "" {

@@ -1,0 +1,5 @@
+//go:build race
+
+package inncabs
+
+const raceEnabled = true

@@ -1,0 +1,134 @@
+package taskrt
+
+// Cancellation trees: tasks spawned with SpawnCtx carry a
+// context.Context, and every task they spawn — directly or through any
+// depth of plain Spawn calls — inherits that scope automatically.
+// Cancelling the root context therefore cancels the whole subtree:
+// tasks that have not started yet are dropped at dispatch (counted in
+// /runtime{locality#L/total}/count/cancelled, never run), and running
+// tasks observe ctx.Err() cooperatively. A future whose task was
+// dropped reports ErrCancelled through Err/GetErr.
+//
+// This is the runtime-intrinsic recovery half of the paper's thesis:
+// the same scheduler that measures pathological behaviour (stalls,
+// backlogs — see watchdog.go) is the layer that can actually stop it,
+// because it sits under every task.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrCancelled is reported by a future whose task was dropped because
+// its cancellation scope ended before the task body ran.
+var ErrCancelled = errors.New("taskrt: task cancelled")
+
+// PanicError wraps a panic raised inside a task body: the original
+// panic value plus the stack of the panicking task goroutine, captured
+// at recovery time. Future.Get re-raises it; Future.Err returns it.
+type PanicError struct {
+	// Value is the original value passed to panic.
+	Value any
+	// Stack is the panicking task's stack trace (debug.Stack form).
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("taskrt: task panicked: %v", e.Value)
+}
+
+// SpawnCtx launches fn under the given policy with ctx as the task's
+// cancellation scope. The scope propagates to every descendant task
+// spawned from inside fn (including plain Spawn/AsyncF calls). If ctx
+// is already cancelled the task is dropped immediately; if it is
+// cancelled while the task is queued, the task is dropped at dispatch.
+// Dropped tasks complete their future with ErrCancelled and are counted
+// in the runtime's cancelled counter.
+func SpawnCtx[T any](ctx context.Context, rt *Runtime, policy Policy, fn func() T) *Future[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return spawn(rt, ctx, policy, fn, nil)
+}
+
+// AsyncCtx is SpawnCtx with the Async policy.
+func AsyncCtx[T any](ctx context.Context, rt *Runtime, fn func() T) *Future[T] {
+	return SpawnCtx(ctx, rt, Async, fn)
+}
+
+// SpawnTimeout is SpawnCtx with a per-spawn deadline: the task's scope
+// is ctx bounded by d, and the derived timer is released when the
+// future completes. The per-runtime WithTaskDeadline default, if set,
+// still applies on top (the earlier deadline wins).
+func SpawnTimeout[T any](ctx context.Context, rt *Runtime, policy Policy, d time.Duration, fn func() T) *Future[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dctx, cancel := context.WithTimeout(ctx, d)
+	// The release hook rides into spawn so it is installed before the
+	// task is published; spawn chains it with the per-runtime deadline's
+	// cancel when both apply.
+	return spawn(rt, dctx, policy, fn, cancel)
+}
+
+// Err waits for the future and reports how it completed: nil for a
+// normal completion, ErrCancelled if the task was dropped by its
+// cancellation scope, or a *PanicError if the task body panicked.
+// Unlike Get it never re-panics, so library code can diagnose a failed
+// task without a recover.
+func (f *Future[T]) Err() error {
+	f.Wait()
+	return f.err
+}
+
+// GetErr waits for the future and returns the value together with the
+// completion error (see Err). On cancellation or panic the value is the
+// zero value of T.
+func (f *Future[T]) GetErr() (T, error) {
+	f.Wait()
+	return f.value, f.err
+}
+
+// WaitContext waits until the future completes or ctx is done,
+// whichever comes first, returning nil or ctx.Err() respectively. On a
+// worker goroutine the wait helps execute other pending tasks, like
+// Wait. Abandoning the wait does not cancel the task: the task's own
+// spawn context governs that.
+func (f *Future[T]) WaitContext(ctx context.Context) error {
+	if f.state.Load() == futDone {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := f.rt.currentWorker()
+	if f.fn != nil && f.state.Load() == futCreated {
+		// Deferred: the first waiter runs the task inline.
+		fn := f.fn
+		if w != nil {
+			t := newTask(func(*worker) { f.run(fn) })
+			t.ctx = f.ctx
+			w.executeInline(t)
+		} else {
+			f.run(fn)
+		}
+		if f.state.Load() == futDone {
+			return nil
+		}
+	}
+	if w != nil {
+		if !f.rt.helpWaitUntil(w, f.done, ctx.Done()) {
+			return ctx.Err()
+		}
+		return nil
+	}
+	select {
+	case <-f.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,6 +1,7 @@
 package taskrt
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -10,6 +11,10 @@ import (
 // it, so steady-state spawning allocates no task structs.
 type task struct {
 	fn func(w *worker)
+	// ctx is the task's cancellation scope (nil when the task is not
+	// cancellable). The worker publishes it as its current scope while
+	// the task runs, so tasks spawned from inside inherit it.
+	ctx context.Context
 }
 
 var taskPool = sync.Pool{New: func() any { return new(task) }}
@@ -25,6 +30,7 @@ func newTask(fn func(w *worker)) *task {
 // pool. Callers must not retain t afterwards.
 func freeTask(t *task) {
 	t.fn = nil
+	t.ctx = nil
 	taskPool.Put(t)
 }
 

@@ -1,7 +1,9 @@
 package taskrt
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 )
 
@@ -84,33 +86,95 @@ type Future[T any] struct {
 	state atomic.Int32
 	done  chan struct{}
 	fn    func() T
-	value T
-	panic any
+	// ctx is the task's cancellation scope; nil when not cancellable.
+	ctx context.Context
+	// onDone releases per-task deadline resources (a context.CancelFunc)
+	// exactly once, when the future completes.
+	onDone func()
+	value  T
+	// err is nil after a normal completion, ErrCancelled when the task
+	// was dropped because its context died, or a *PanicError when the
+	// task body panicked.
+	err error
 }
 
 // Spawn launches fn under the given policy on rt and returns a Future for
 // its result. Task submission from inside another task lands on the
 // submitting worker's own queue (child tasks are executed or stolen in
-// LIFO/FIFO order as in HPX's local-priority scheduler).
+// LIFO/FIFO order as in HPX's local-priority scheduler). When called from
+// inside a task spawned with SpawnCtx, the child joins the parent's
+// cancellation tree.
 func Spawn[T any](rt *Runtime, policy Policy, fn func() T) *Future[T] {
-	f := &Future[T]{rt: rt, done: make(chan struct{})}
+	return spawn(rt, nil, policy, fn, nil)
+}
+
+// spawn is the shared launch path: ctx == nil means "inherit the
+// spawning task's scope, if any". onDone, if non-nil, is invoked when
+// the future completes (used to release per-spawn deadline timers); it
+// must be installed here, before the task is published, because finish
+// may run concurrently on a worker the moment the task is queued.
+func spawn[T any](rt *Runtime, ctx context.Context, policy Policy, fn func() T, onDone func()) *Future[T] {
+	f := &Future[T]{rt: rt, done: make(chan struct{}), onDone: onDone}
 	// One worker resolution per spawn: every path below that needs the
 	// caller's identity reuses w instead of consulting goroutine id
 	// again.
 	w := rt.currentWorker()
+	if ctx == nil && w != nil {
+		ctx = w.curCtx // join the running task's cancellation tree
+	}
+	if d := rt.taskDeadline; d > 0 {
+		// Per-runtime default task deadline, folded into the scope so
+		// dispatch-side dropping and descendant propagation both apply.
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		dctx, cancel := context.WithTimeout(base, d)
+		ctx = dctx
+		if prev := f.onDone; prev != nil {
+			f.onDone = func() { prev(); cancel() }
+		} else {
+			f.onDone = cancel
+		}
+	}
+	f.ctx = ctx
+	if ctx != nil && ctx.Err() != nil {
+		// Dead on arrival: dropped before it is ever queued, and
+		// accounted exactly like a dispatch-side drop.
+		f.drop()
+		return f
+	}
 	switch policy {
 	case Sync, Fork:
 		// Work-first execution at the spawn point. When on a worker, the
 		// execution is accounted as an inline task.
 		if w != nil {
-			w.executeInline(newTask(func(*worker) { f.run(fn) }))
+			t := newTask(func(*worker) { f.run(fn) })
+			t.ctx = ctx
+			w.executeInline(t)
 		} else {
 			f.run(fn)
 		}
 	case Deferred:
 		f.fn = fn
 	default: // Async, Optional
+		if rt.shouldShed() {
+			// Overload: past the pending high-water mark new spawns run
+			// inline (work-first), trading parallelism for bounded
+			// queues — the task still executes, only its queueing is
+			// shed.
+			rt.shed.Add(1)
+			if w != nil {
+				t := newTask(func(*worker) { f.run(fn) })
+				t.ctx = ctx
+				w.executeInline(t)
+			} else {
+				f.run(fn)
+			}
+			return f
+		}
 		t := newTask(func(*worker) { f.run(fn) })
+		t.ctx = ctx
 		if err := rt.submitFrom(w, t); err != nil {
 			// Runtime shut down: fall back to deferred execution so the
 			// future still completes when queried.
@@ -127,19 +191,47 @@ func AsyncF[T any](rt *Runtime, fn func() T) *Future[T] {
 	return Spawn(rt, Async, fn)
 }
 
-// run executes the task body exactly once and publishes the result.
+// run executes the task body exactly once and publishes the result. A
+// task whose cancellation scope died while it sat in a queue is dropped
+// here — at dispatch — without running user code.
 func (f *Future[T]) run(fn func() T) {
+	if f.ctx != nil && f.ctx.Err() != nil {
+		f.drop()
+		return
+	}
 	if !f.state.CompareAndSwap(futCreated, futRunning) {
 		return // already claimed (raced Deferred Get vs something else)
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			f.panic = r
+			f.err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
-		f.state.Store(futDone)
-		close(f.done)
+		f.finish()
 	}()
 	f.value = fn()
+}
+
+// drop completes the future as cancelled without running the task body
+// and counts the drop in the runtime's cancelled counter.
+func (f *Future[T]) drop() {
+	if !f.state.CompareAndSwap(futCreated, futRunning) {
+		return
+	}
+	f.err = ErrCancelled
+	if f.rt != nil {
+		f.rt.cancelled.Add(1)
+	}
+	f.finish()
+}
+
+// finish publishes completion: state, the done channel, and any deadline
+// release hook. Called exactly once per future.
+func (f *Future[T]) finish() {
+	f.state.Store(futDone)
+	close(f.done)
+	if f.onDone != nil {
+		f.onDone()
+	}
 }
 
 // Ready reports whether the result is available without blocking.
@@ -157,7 +249,9 @@ func (f *Future[T]) Wait() {
 		// Deferred: the first waiter runs the task inline.
 		fn := f.fn
 		if w != nil {
-			w.executeInline(newTask(func(*worker) { f.run(fn) }))
+			t := newTask(func(*worker) { f.run(fn) })
+			t.ctx = f.ctx
+			w.executeInline(t)
 		} else {
 			f.run(fn)
 		}
@@ -173,11 +267,14 @@ func (f *Future[T]) Wait() {
 }
 
 // Get waits for and returns the result. A panic in the task body is
-// re-raised in the caller, as a future's get would rethrow in C++.
+// re-raised in the caller as a *PanicError carrying the original value
+// and the task's stack, as a future's get would rethrow in C++; Get on
+// a cancelled future panics with ErrCancelled. Use GetErr or Err to
+// observe those outcomes without re-panicking.
 func (f *Future[T]) Get() T {
 	f.Wait()
-	if f.panic != nil {
-		panic(f.panic)
+	if f.err != nil {
+		panic(f.err)
 	}
 	return f.value
 }

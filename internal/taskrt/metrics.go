@@ -27,6 +27,9 @@ type workerMetrics struct {
 	started        atomic.Int64 // wall-clock ns when the worker started
 	active         atomic.Int64 // 1 while executing a task
 	inlineExecuted atomic.Int64 // tasks run inline (Fork/Sync/helping)
+	taskStartNs    atomic.Int64 // wall-clock ns the current task began; 0 if idle
+	healthStalled  atomic.Int64 // stalled_task events attributed to this worker
+	healthStarved  atomic.Int64 // starved_worker events attributed to this worker
 	_              [cacheLineSize]byte
 }
 
@@ -38,6 +41,8 @@ func (m *workerMetrics) reset() {
 	m.stolen.Store(0)
 	m.pendingPeak.Store(0)
 	m.inlineExecuted.Store(0)
+	m.healthStalled.Store(0)
+	m.healthStarved.Store(0)
 }
 
 func (m *workerMetrics) notePending(n int) {
@@ -359,6 +364,60 @@ func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
 			return s.read(&ms)
 		}, nil)); err != nil {
 			return err
+		}
+	}
+
+	// Resilience counters: tasks dropped by cancellation, spawns shed by
+	// the admission controller, and the watchdog's health events.
+	resSpecs := []struct {
+		counter, help string
+		val           *atomic.Int64
+	}{
+		{"count/cancelled", "tasks dropped at dispatch by cancellation", &rt.cancelled},
+		{"count/shed", "async spawns degraded to inline by overload shedding", &rt.shed},
+		{"health/backlog-growth", "watchdog: sustained injector backlog growth episodes", &rt.healthBacklog},
+		{"health/deadlocks", "watchdog: suspected deadlocked wait cycles", &rt.healthDeadlock},
+		{"health/events", "watchdog: total health events raised", &rt.healthEvents},
+	}
+	for _, s := range resSpecs {
+		s := s
+		name := core.Name{Object: "runtime", Counter: s.counter}.
+			WithInstances(core.LocalityInstance(loc, "total", -1)...)
+		info := core.Info{TypeName: "/runtime/" + s.counter, HelpText: s.help,
+			Unit: core.UnitEvents, Version: "1.0"}
+		if err := reg.Register(core.NewFuncCounter(name, info, 0,
+			s.val.Load, func() { s.val.Store(0) })); err != nil {
+			return err
+		}
+	}
+
+	// Per-worker-attributable health events, with a summed total.
+	healthSpecs := []struct {
+		counter, help string
+		read          func(m *workerMetrics) int64
+		reset         func(m *workerMetrics)
+	}{
+		{"health/stalled-tasks", "watchdog: tasks running past the stall threshold",
+			func(m *workerMetrics) int64 { return m.healthStalled.Load() },
+			func(m *workerMetrics) { m.healthStalled.Store(0) }},
+		{"health/starved-workers", "watchdog: workers parked with work pending past the starvation threshold",
+			func(m *workerMetrics) int64 { return m.healthStarved.Load() },
+			func(m *workerMetrics) { m.healthStarved.Store(0) }},
+	}
+	for _, s := range healthSpecs {
+		info := core.Info{TypeName: "/runtime/" + s.counter, HelpText: s.help,
+			Unit: core.UnitEvents, Version: "1.0"}
+		total := core.Name{Object: "runtime", Counter: s.counter}.
+			WithInstances(core.LocalityInstance(loc, "total", -1)...)
+		if err := register(total, info, allWorkers, s.read, s.reset); err != nil {
+			return err
+		}
+		for w := 0; w < n; w++ {
+			name := core.Name{Object: "runtime", Counter: s.counter}.
+				WithInstances(core.LocalityInstance(loc, "worker-thread", int64(w))...)
+			if err := register(name, info, []int{w}, s.read, s.reset); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package taskrt
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -13,8 +14,10 @@ import (
 type Option func(*config)
 
 type config struct {
-	workers  int
-	locality int64
+	workers      int
+	locality     int64
+	taskDeadline time.Duration
+	shedLimit    int64
 }
 
 // WithWorkers sets the number of worker goroutines (the paper's
@@ -32,6 +35,34 @@ func WithLocality(id int64) Option {
 	return func(c *config) { c.locality = id }
 }
 
+// WithTaskDeadline sets a default per-task deadline: every spawned task
+// gets a cancellation scope bounded by d, so a task that is still queued
+// when its deadline passes is dropped at dispatch (counted in the
+// cancelled counter) instead of running arbitrarily late. Per-spawn
+// deadlines (SpawnTimeout) and caller contexts compose with it — the
+// earliest deadline wins.
+func WithTaskDeadline(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.taskDeadline = d
+		}
+	}
+}
+
+// WithShedding installs an admission controller: once more than hwm
+// tasks are pending across all queues, new Async spawns degrade to
+// inline (work-first) execution on the spawning goroutine instead of
+// being enqueued. The queue stays bounded at the high-water mark plus
+// the worker count; no task is refused — only its queueing is shed.
+// Sheds are counted in /runtime{locality#L/total}/count/shed.
+func WithShedding(hwm int) Option {
+	return func(c *config) {
+		if hwm > 0 {
+			c.shedLimit = int64(hwm)
+		}
+	}
+}
+
 // Runtime is a lightweight-task scheduler: a fixed pool of workers with
 // per-worker lock-free deques, work stealing and a lock-free injection
 // queue for submissions from non-worker goroutines.
@@ -45,6 +76,31 @@ type Runtime struct {
 	limit    atomic.Int64  // concurrency limit; 0 = all workers
 	closed   atomic.Bool
 	wg       sync.WaitGroup
+
+	// taskDeadline is the default per-task deadline (0 = none); set at
+	// construction, read-only afterwards.
+	taskDeadline time.Duration
+	// shedLimit is the pending-task high-water mark past which Async
+	// spawns run inline (0 = shedding off); read-only after New.
+	shedLimit int64
+	// pending tracks tasks currently sitting in any queue (local deques
+	// plus injector). Incremented at submit, decremented at dequeue; the
+	// shedding and watchdog paths read it.
+	pending atomic.Int64
+	// cancelled counts tasks dropped at dispatch because their
+	// cancellation scope ended before they ran.
+	cancelled atomic.Int64
+	// shed counts Async spawns degraded to inline execution by the
+	// admission controller.
+	shed atomic.Int64
+
+	// Watchdog state: cumulative health-event counts by kind that have
+	// no per-worker attribution, plus the monitor itself.
+	healthBacklog  atomic.Int64 // backlog_growth events
+	healthDeadlock atomic.Int64 // deadlock_suspected events
+	healthEvents   atomic.Int64 // all health events
+	wdMu           sync.Mutex
+	wd             *watchdog
 
 	trace     atomic.Value // *tracer; nil when tracing is off
 	lastTrace atomic.Value // *tracer of the previous session
@@ -63,6 +119,11 @@ type worker struct {
 	// where a suspended thread's wait time is not part of its duration.
 	// Only touched from the worker's own goroutine.
 	nestedNs int64
+	// curCtx is the cancellation scope of the task currently running on
+	// this worker (nil between tasks or for scope-less tasks). Tasks
+	// spawned from inside inherit it, forming the cancellation tree.
+	// Only touched from the worker's own goroutine.
+	curCtx context.Context
 }
 
 // ErrClosed is returned by operations on a shut-down runtime.
@@ -75,10 +136,12 @@ func New(opts ...Option) *Runtime {
 		o(&cfg)
 	}
 	rt := &Runtime{
-		injector: newInjector(),
-		wakeup:   newNotifier(),
-		wmap:     newWorkerMap(),
-		locality: cfg.locality,
+		injector:     newInjector(),
+		wakeup:       newNotifier(),
+		wmap:         newWorkerMap(),
+		locality:     cfg.locality,
+		taskDeadline: cfg.taskDeadline,
+		shedLimit:    cfg.shedLimit,
 	}
 	rt.rng.Store(uint64(time.Now().UnixNano()) | 1)
 	rt.workers = make([]*worker, cfg.workers)
@@ -136,6 +199,7 @@ func (rt *Runtime) Shutdown() {
 	if rt.closed.Swap(true) {
 		return
 	}
+	rt.StopWatchdog()
 	// One waiter goroutine observes the pool exit; the loop just
 	// re-notifies periodically to cover a worker that was between its
 	// closed-flag check and its park when the first notify fired.
@@ -175,15 +239,31 @@ func (rt *Runtime) submitFrom(w *worker, t *task) error {
 		// wakeup, which may hand the CPU over.
 		begin := time.Now()
 		n := w.queue.pushBack(t)
+		rt.pending.Add(1)
 		w.metrics.notePending(n)
 		w.metrics.overheadNs.Add(time.Since(begin).Nanoseconds())
 		rt.wakeup.notify()
 		return nil
 	}
 	rt.injector.pushBack(t)
+	rt.pending.Add(1)
 	rt.wakeup.notify()
 	return nil
 }
+
+// shouldShed reports whether the admission controller is active and the
+// pending-task count has reached the high-water mark.
+func (rt *Runtime) shouldShed() bool {
+	return rt.shedLimit > 0 && rt.pending.Load() >= rt.shedLimit
+}
+
+// Cancelled returns the cumulative number of tasks dropped at dispatch
+// because their cancellation scope ended before they ran.
+func (rt *Runtime) Cancelled() int64 { return rt.cancelled.Load() }
+
+// Shed returns the cumulative number of Async spawns degraded to inline
+// execution by the admission controller.
+func (rt *Runtime) Shed() int64 { return rt.shed.Load() }
 
 // run is the worker scheduling loop.
 func (w *worker) run(started <-chan struct{}) {
@@ -237,13 +317,19 @@ func (w *worker) run(started <-chan struct{}) {
 // find locates a runnable task: own queue (LIFO), injection queue, then
 // steal from a random victim (FIFO).
 func (w *worker) find() *task {
-	if t := w.queue.popBack(); t != nil {
-		return t
+	t := w.queue.popBack()
+	if t == nil {
+		t = w.rt.injector.popFront()
 	}
-	if t := w.rt.injector.popFront(); t != nil {
-		return t
+	if t == nil {
+		t = w.steal()
 	}
-	return w.steal()
+	if t != nil {
+		// Every dequeue path funnels through here, so pending is
+		// balanced against the submitFrom increments exactly once.
+		w.rt.pending.Add(-1)
+	}
+	return t
 }
 
 // peek reports whether any queue holds work, without removing it.
@@ -295,7 +381,16 @@ func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 	}
 	saved := w.nestedNs
 	w.nestedNs = 0
+	// Publish the running task's scope (for cancellation inheritance)
+	// and start time (for watchdog stall detection); restore the
+	// enclosing task's view afterwards so nested inline execution is
+	// transparent.
+	savedCtx := w.curCtx
+	w.curCtx = t.ctx
+	savedStart := w.metrics.taskStartNs.Swap(begin.UnixNano())
 	t.fn(w)
+	w.metrics.taskStartNs.Store(savedStart)
+	w.curCtx = savedCtx
 	total := time.Since(begin).Nanoseconds()
 	own := total - w.nestedNs
 	if own < 0 {
@@ -338,10 +433,18 @@ func (rt *Runtime) currentWorker() *worker {
 // enclosing task: a task's recorded duration excludes the time it spent
 // waiting on futures, matching HPX's suspended-thread semantics.
 func (rt *Runtime) helpWait(w *worker, done <-chan struct{}) {
+	rt.helpWaitUntil(w, done, nil)
+}
+
+// helpWaitUntil is helpWait with an optional abort channel: it returns
+// true when done closed, false when abort closed first. The wait time
+// is accounted as non-own time of the enclosing task either way.
+func (rt *Runtime) helpWaitUntil(w *worker, done, abort <-chan struct{}) bool {
 	saved := w.nestedNs
 	begin := time.Now()
-	rt.help(w, done)
+	ok := rt.help(w, done, abort)
 	w.nestedNs = saved + time.Since(begin).Nanoseconds()
+	return ok
 }
 
 // helpPollInterval is the backoff while waiting for a future with no
@@ -350,16 +453,24 @@ const helpPollInterval = 20 * time.Microsecond
 
 // help lets the calling worker make progress while it waits for done to
 // close: it executes local tasks first, then stolen ones, and parks on
-// done when no work exists. Returns when done is closed.
-func (rt *Runtime) help(w *worker, done <-chan struct{}) {
+// done when no work exists. Returns true when done closed, false when
+// the optional abort channel (nil = never) closed first.
+func (rt *Runtime) help(w *worker, done, abort <-chan struct{}) bool {
 	// One reusable timer across poll iterations: allocated lazily the
 	// first time this wait actually idles, reset thereafter.
 	var timer *time.Timer
 	for {
 		select {
 		case <-done:
-			return
+			return true
 		default:
+		}
+		if abort != nil {
+			select {
+			case <-abort:
+				return false
+			default:
+			}
 		}
 		if t := w.find(); t != nil {
 			w.executeInline(t)
@@ -368,15 +479,15 @@ func (rt *Runtime) help(w *worker, done <-chan struct{}) {
 		// No runnable work: block until the future completes or the
 		// poll interval elapses. We poll with a short backoff rather
 		// than integrating done into the notifier, keeping the wait
-		// structure simple.
+		// structure simple. A nil abort case never fires, so the
+		// three-way select also serves the two-channel wait.
 		idleStart := time.Now()
 		if timer == nil {
 			timer = time.NewTimer(helpPollInterval)
 		} else {
 			timer.Reset(helpPollInterval)
 		}
-		select {
-		case <-done:
+		stopTimer := func() {
 			if !timer.Stop() {
 				// Drain so a later Reset starts clean (pre-1.23 timer
 				// channel semantics; harmless under 1.23+).
@@ -385,8 +496,16 @@ func (rt *Runtime) help(w *worker, done <-chan struct{}) {
 				default:
 				}
 			}
+		}
+		select {
+		case <-done:
+			stopTimer()
 			w.metrics.idleNs.Add(time.Since(idleStart).Nanoseconds())
-			return
+			return true
+		case <-abort:
+			stopTimer()
+			w.metrics.idleNs.Add(time.Since(idleStart).Nanoseconds())
+			return false
 		case <-timer.C:
 			w.metrics.idleNs.Add(time.Since(idleStart).Nanoseconds())
 		}

@@ -123,9 +123,23 @@ func TestPolicyString(t *testing.T) {
 func TestPanicPropagation(t *testing.T) {
 	rt := newTestRuntime(t, 2)
 	f := AsyncF(rt, func() int { panic("boom") })
+	// Err exposes the panic without re-panicking, carrying the original
+	// value and the task's stack.
+	pe, ok := f.Err().(*PanicError)
+	if !ok {
+		t.Fatalf("Err() = %v, want *PanicError", f.Err())
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("PanicError.Value = %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError.Stack is empty")
+	}
+	// Get re-raises the same *PanicError.
 	defer func() {
-		if r := recover(); r != "boom" {
-			t.Fatalf("recovered %v", r)
+		r := recover()
+		if r != pe {
+			t.Fatalf("recovered %v, want the future's *PanicError", r)
 		}
 	}()
 	f.Get()

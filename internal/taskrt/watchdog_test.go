@@ -1,0 +1,264 @@
+package taskrt
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// eventLog collects watchdog events for assertions.
+type eventLog struct {
+	mu     sync.Mutex
+	events []HealthEvent
+}
+
+func (l *eventLog) add(ev HealthEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) count(kind HealthKind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWatchdogCleanRunNoEvents: a healthy fork/join workload under an
+// aggressive sampling interval must raise zero health events.
+func TestWatchdogCleanRunNoEvents(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	// The aggressive part is the 2 ms sweep; the thresholds only need to
+	// stay above the whole run's duration, with headroom for the race
+	// detector's ~10x slowdown (a fork/join root legitimately spans most
+	// of the run).
+	threshold := time.Second
+	if raceEnabled {
+		threshold = 10 * time.Second
+	}
+	var log eventLog
+	rt.StartWatchdog(WatchdogConfig{
+		Interval:            2 * time.Millisecond,
+		StallThreshold:      threshold,
+		StarvationThreshold: threshold,
+		OnEvent:             log.add,
+	})
+
+	var fib func(n int) int
+	fib = func(n int) int {
+		if n < 2 {
+			return n
+		}
+		a := AsyncF(rt, func() int { return fib(n - 1) })
+		b := fib(n - 2)
+		return a.Get() + b
+	}
+	if got := fib(22); got != 17711 {
+		t.Fatalf("fib(22) = %d", got)
+	}
+	rt.StopWatchdog()
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.events) != 0 {
+		t.Fatalf("clean run raised %d health events: %v", len(log.events), log.events)
+	}
+	if rt.healthEvents.Load() != 0 {
+		t.Fatalf("health/events counter = %d on a clean run", rt.healthEvents.Load())
+	}
+}
+
+// TestWatchdogStalledTask: one deliberately stalled task raises exactly
+// one stalled_task event — repeated sweeps over the same episode are
+// deduplicated.
+func TestWatchdogStalledTask(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	var log eventLog
+	rt.StartWatchdog(WatchdogConfig{
+		Interval:       3 * time.Millisecond,
+		StallThreshold: 25 * time.Millisecond,
+		OnEvent:        log.add,
+	})
+	f := AsyncF(rt, func() int {
+		time.Sleep(150 * time.Millisecond) // stall well past the threshold
+		return 1
+	})
+	f.Wait()
+	rt.StopWatchdog()
+
+	if got := log.count(HealthStalledTask); got != 1 {
+		t.Fatalf("stalled_task events = %d, want exactly 1 (%v)", got, log.events)
+	}
+	if got := log.count(HealthDeadlockSuspected); got != 0 {
+		t.Fatalf("a sleeping task was misreported as deadlock (%v)", log.events)
+	}
+	var perWorker int64
+	for _, w := range rt.workers {
+		perWorker += w.metrics.healthStalled.Load()
+	}
+	if perWorker != 1 || rt.healthEvents.Load() != int64(len(log.events)) {
+		t.Fatalf("counters disagree: stalled=%d events=%d log=%d",
+			perWorker, rt.healthEvents.Load(), len(log.events))
+	}
+}
+
+// TestWatchdogDeadlockSuspected: a genuine Wait cycle (two tasks each
+// waiting on the other's future) is reported once as deadlock_suspected.
+// The tasks wait with WaitContext so the test can break the cycle.
+func TestWatchdogDeadlockSuspected(t *testing.T) {
+	rt := New(WithWorkers(2))
+	defer rt.Shutdown()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // breaks the cycle before Shutdown
+
+	var log eventLog
+	rt.StartWatchdog(WatchdogConfig{
+		Interval:       3 * time.Millisecond,
+		StallThreshold: 30 * time.Millisecond,
+		OnEvent:        log.add,
+	})
+
+	ready := make(chan struct{})
+	var fa, fb *Future[int]
+	fa = AsyncF(rt, func() int { <-ready; _ = fb.WaitContext(ctx); return 1 })
+	fb = AsyncF(rt, func() int { <-ready; _ = fa.WaitContext(ctx); return 2 })
+	close(ready)
+
+	deadline := time.After(5 * time.Second)
+	for log.count(HealthDeadlockSuspected) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("deadlock cycle never reported")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	fa.Wait()
+	fb.Wait()
+	time.Sleep(20 * time.Millisecond) // a few more sweeps after progress
+	rt.StopWatchdog()
+
+	if got := log.count(HealthDeadlockSuspected); got != 1 {
+		t.Fatalf("deadlock_suspected events = %d, want exactly 1", got)
+	}
+	if rt.healthDeadlock.Load() != 1 {
+		t.Fatalf("health/deadlocks counter = %d", rt.healthDeadlock.Load())
+	}
+}
+
+// TestWatchdogStarvedWorker drives sweep directly: a parked worker with
+// work pending past the threshold is reported once per park episode.
+func TestWatchdogStarvedWorker(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	// Let the workers go idle (parked).
+	deadline := time.Now().Add(5 * time.Second)
+	parked := func() int {
+		n := 0
+		for _, w := range rt.workers {
+			if w.metrics.parkedSince.Load() != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	for parked() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var log eventLog
+	cfg := WatchdogConfig{OnEvent: log.add}
+	cfg.setDefaults()
+	wd := newWatchdog(rt, cfg)
+
+	// Pretend a task is pending that nobody picks up (the counter is
+	// what sweep consults; the queues stay untouched).
+	rt.pending.Add(1)
+	defer rt.pending.Add(-1)
+
+	future := time.Now().Add(2 * cfg.StarvationThreshold)
+	wd.sweep(future)
+	if got := log.count(HealthStarvedWorker); got != 2 {
+		t.Fatalf("starved_worker events = %d, want 2 (both workers)", got)
+	}
+	// Same park episode: a second sweep must not re-report.
+	wd.sweep(future.Add(cfg.Interval))
+	if got := log.count(HealthStarvedWorker); got != 2 {
+		t.Fatalf("starvation re-reported within one episode: %d events", got)
+	}
+	// Throttled workers park by design and are skipped.
+	rt.SetConcurrencyLimit(1)
+	wd2 := newWatchdog(rt, cfg)
+	var log2 eventLog
+	wd2.cfg.OnEvent = log2.add
+	wd2.sweep(future)
+	if got := log2.count(HealthStarvedWorker); got != 1 {
+		t.Fatalf("throttled-aware sweep reported %d starvations, want 1", got)
+	}
+	rt.SetConcurrencyLimit(0)
+}
+
+// TestWatchdogBacklogGrowth drives sweep over a growing injector: the
+// event fires after exactly BacklogSamples consecutive growth samples.
+func TestWatchdogBacklogGrowth(t *testing.T) {
+	rt := newTestRuntime(t, 1)
+	release := gateWorkers(t, rt)
+	defer release()
+
+	var log eventLog
+	cfg := WatchdogConfig{BacklogSamples: 3, OnEvent: log.add}
+	cfg.setDefaults()
+	wd := newWatchdog(rt, cfg)
+
+	now := time.Now()
+	fs := make([]*Future[int], 0, 8)
+	for i := 0; i < 3; i++ {
+		// Spawned from a non-worker goroutine: lands on the injector.
+		fs = append(fs, AsyncF(rt, func() int { return 1 }))
+		wd.sweep(now.Add(time.Duration(i) * cfg.Interval))
+	}
+	if got := log.count(HealthBacklogGrowth); got != 1 {
+		t.Fatalf("backlog_growth events after 3 growth samples = %d, want 1", got)
+	}
+	// Flat backlog: streak resets, no further events.
+	wd.sweep(now.Add(10 * cfg.Interval))
+	wd.sweep(now.Add(11 * cfg.Interval))
+	if got := log.count(HealthBacklogGrowth); got != 1 {
+		t.Fatalf("flat backlog raised events: %d", got)
+	}
+	release()
+	WaitAllOf(fs)
+}
+
+// TestWatchdogStartStop: starting twice is a no-op, stopping twice is
+// safe, and Shutdown stops an active watchdog.
+func TestWatchdogStartStop(t *testing.T) {
+	rt := New(WithWorkers(1))
+	rt.StartWatchdog(WatchdogConfig{Interval: time.Millisecond})
+	first := rt.wd
+	rt.StartWatchdog(WatchdogConfig{Interval: time.Millisecond})
+	if rt.wd != first {
+		t.Fatal("second StartWatchdog replaced the running watchdog")
+	}
+	rt.StopWatchdog()
+	rt.StopWatchdog() // idempotent
+	rt.StartWatchdog(WatchdogConfig{Interval: time.Millisecond})
+	rt.Shutdown() // must stop the watchdog
+	rt.wdMu.Lock()
+	if rt.wd != nil {
+		t.Fatal("Shutdown left the watchdog running")
+	}
+	rt.wdMu.Unlock()
+	rt.StartWatchdog(WatchdogConfig{}) // after shutdown: no-op
+	if rt.wd != nil {
+		t.Fatal("StartWatchdog ran on a closed runtime")
+	}
+}
