@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/inncabs"
+	"repro/internal/parcel"
 	"repro/internal/perfcli"
 	"repro/internal/stats"
 	"repro/internal/stdrt"
@@ -43,6 +44,8 @@ func main() {
 		listBench = flag.Bool("list-benchmarks", false, "list benchmarks and exit")
 		all       = flag.Bool("all", false, "run and verify the whole suite, print a summary table")
 		tracePath = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the task schedule to this file (hpx runtime)")
+		profile   = flag.Bool("profile", false, "trace the run and print its DAG profile: work, span (critical path), parallelism, top spawn sites (hpx runtime)")
+		serveAddr = flag.String("serve", "", "serve the counter registry over parcel at this address for remote monitors (e.g. 127.0.0.1:7110)")
 		deadline  = flag.Duration("deadline", 0, "cancel the measurement after this long (0 = unbounded); cancellable benchmarks stop cooperatively")
 		watchdog  = flag.Bool("watchdog", false, "run the runtime health watchdog and log events to stderr (hpx runtime)")
 	)
@@ -103,20 +106,27 @@ func main() {
 				},
 			})
 		}
-		if *tracePath != "" {
+		if *tracePath != "" || *profile {
 			trt.EnableTracing(0)
 			defer func() {
 				events, dropped := trt.TraceEvents()
-				f, err := os.Create(*tracePath)
-				if err != nil {
-					fatal(err)
+				if *tracePath != "" {
+					f, err := os.Create(*tracePath)
+					if err != nil {
+						fatal(err)
+					}
+					defer f.Close()
+					if err := taskrt.WriteChromeTrace(f, events); err != nil {
+						fatal(err)
+					}
+					fmt.Printf("trace: %d task events written to %s (%d dropped)\n",
+						len(events), *tracePath, dropped)
 				}
-				defer f.Close()
-				if err := taskrt.WriteChromeTrace(f, events); err != nil {
-					fatal(err)
+				if *profile {
+					a := taskrt.AnalyzeTrace(events)
+					fmt.Printf("\nDAG profile (%d events, %d dropped):\n%s",
+						len(events), dropped, a.Summary(10))
 				}
-				fmt.Printf("trace: %d task events written to %s (%d dropped)\n",
-					len(events), *tracePath, dropped)
 			}()
 		}
 		hrt := inncabs.NewHPX(trt)
@@ -131,8 +141,21 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown runtime %q (hpx or std)", *rtName))
 	}
-	if *watchdog && trt == nil {
-		fmt.Fprintln(os.Stderr, "inncabs: -watchdog only applies to the hpx runtime; ignored")
+	if trt == nil {
+		if *watchdog {
+			fmt.Fprintln(os.Stderr, "inncabs: -watchdog only applies to the hpx runtime; ignored")
+		}
+		if *tracePath != "" || *profile {
+			fmt.Fprintln(os.Stderr, "inncabs: -trace/-profile only apply to the hpx runtime; ignored")
+		}
+	}
+	if *serveAddr != "" {
+		srv, err := parcel.Serve(*serveAddr, reg, 0)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "inncabs: serving counters on %s\n", srv.Addr())
 	}
 
 	session, err := opts.Start(reg)

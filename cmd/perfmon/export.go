@@ -1,0 +1,71 @@
+package main
+
+// Live export of the sampling loop: -http serves the sampled series
+// over HTTP (Prometheus text at /metrics, JSON at /series) while the
+// loop runs, and -csv appends one CSV row per successful sample in the
+// same format perfcli writes locally, so local and remote captures are
+// interchangeable downstream.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// exporter fans successful samples out to the optional live exports.
+type exporter struct {
+	sampler *telemetry.Sampler
+	srv     *http.Server
+	csv     *os.File
+}
+
+func newExporter(httpAddr, csvPath string, stderr io.Writer) (*exporter, error) {
+	e := &exporter{}
+	if httpAddr != "" {
+		e.sampler = telemetry.NewSampler(0)
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return nil, err
+		}
+		e.srv = &http.Server{Handler: telemetry.Handler(e.sampler)}
+		go func() { _ = e.srv.Serve(ln) }()
+		fmt.Fprintf(stderr, "perfmon: serving telemetry on http://%s (/metrics, /series)\n",
+			ln.Addr())
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		e.csv = f
+		fmt.Fprintln(f, "counter,timestamp,value,count,status")
+	}
+	return e, nil
+}
+
+// observe records one successful sample in every active export.
+func (e *exporter) observe(v core.Value) {
+	if e.sampler != nil {
+		e.sampler.ObserveValue(v)
+	}
+	if e.csv != nil {
+		fmt.Fprintf(e.csv, "%s,%s,%g,%d,%s\n",
+			v.Name, v.Time.Format(time.RFC3339Nano), v.Float64(), v.Count, v.Status)
+	}
+}
+
+func (e *exporter) close() {
+	if e.srv != nil {
+		_ = e.srv.Close()
+	}
+	if e.csv != nil {
+		_ = e.csv.Close()
+	}
+}

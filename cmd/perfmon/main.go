@@ -47,6 +47,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		stale    = fs.Bool("stale", true, "serve last-known values while the target is unreachable")
 		deadline = fs.Duration("deadline", 0, "total run deadline for the sampling loop (0 = unbounded)")
 		watchdog = fs.Duration("watchdog", 0, "warn when no sample has succeeded for this long (0 = off)")
+		httpAddr = fs.String("http", "", "serve the sampled series over HTTP at this address (/metrics Prometheus text, /series JSON)")
+		csvPath  = fs.String("csv", "", "append samples as CSV to this file (header row + one line per sample)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -98,7 +100,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			ctx, cancel = context.WithTimeout(ctx, *deadline)
 			defer cancel()
 		}
-		return sampleLoop(ctx, cli, stdout, stderr, *counter, *reset, *n, *interval, *watchdog)
+		var exp *exporter
+		if *httpAddr != "" || *csvPath != "" {
+			var err error
+			exp, err = newExporter(*httpAddr, *csvPath, stderr)
+			if err != nil {
+				fmt.Fprintln(stderr, "perfmon:", err)
+				return 1
+			}
+			defer exp.close()
+		}
+		return sampleLoop(ctx, cli, stdout, stderr, exp, *counter, *reset, *n, *interval, *watchdog)
 	default:
 		fs.Usage()
 		return 2
@@ -115,7 +127,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 // With watchdog > 0, one warning is printed per stall episode: when no
 // sample has succeeded for that long, and again only after a recovery.
 func sampleLoop(ctx context.Context, cli *parcel.Client, stdout, stderr io.Writer,
-	counter string, reset bool, n int, interval, watchdog time.Duration) int {
+	exp *exporter, counter string, reset bool, n int, interval, watchdog time.Duration) int {
 	good := 0
 	lastGood := time.Now()
 	stallWarned := false
@@ -145,6 +157,9 @@ func sampleLoop(ctx context.Context, cli *parcel.Client, stdout, stderr io.Write
 		stallWarned = false
 		fmt.Fprintf(stdout, "%s  %s = %g (count %d, %s)\n",
 			v.Time.Format(time.RFC3339), v.Name, v.Float64(), v.Count, v.Status)
+		if exp != nil {
+			exp.observe(v)
+		}
 	}
 	if good == 0 {
 		fmt.Fprintf(stderr, "perfmon: all %d samples failed\n", n)

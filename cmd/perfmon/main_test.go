@@ -6,8 +6,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -83,6 +88,149 @@ func TestSampleLoopSurvivesServerRestart(t *testing.T) {
 	// During the outage the last-known value is served as stale.
 	if !strings.Contains(out, "stale") {
 		t.Fatalf("no stale samples during the outage:\n%s\nstderr:\n%s", out, errs)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	srv := startServer(t, "127.0.0.1:0", 7)
+	defer srv.Close()
+	csv := filepath.Join(t.TempDir(), "samples.csv")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", srv.Addr(),
+		"-counter", testCounter,
+		"-n", "3", "-interval", "10ms", "-timeout", "500ms",
+		"-csv", csv,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d, want header + 3 samples:\n%s", len(lines), data)
+	}
+	if lines[0] != "counter,timestamp,value,count,status" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 5 || fields[0] != testCounter || fields[2] != "7" {
+			t.Fatalf("bad csv row %q", line)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, fields[1]); err != nil {
+			t.Fatalf("bad csv timestamp in %q: %v", line, err)
+		}
+	}
+}
+
+// syncBuffer lets the test read the stream while the loop writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestHTTPExport(t *testing.T) {
+	srv := startServer(t, "127.0.0.1:0", 11)
+	defer srv.Close()
+
+	var stdout, stderr syncBuffer
+	rc := make(chan int, 1)
+	go func() {
+		rc <- run([]string{
+			"-addr", srv.Addr(),
+			"-counter", testCounter,
+			"-n", "40", "-interval", "50ms", "-timeout", "500ms",
+			"-http", "127.0.0.1:0",
+		}, &stdout, &stderr)
+	}()
+
+	// The exporter prints its bound address on stderr.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no telemetry address announced:\n%s", stderr.String())
+		}
+		for _, line := range strings.Split(stderr.String(), "\n") {
+			if i := strings.Index(line, "http://"); i >= 0 {
+				base = strings.Fields(line[i:])[0]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Wait until at least one sample landed, then check both endpoints.
+	var body string
+	for time.Now().Before(deadline) {
+		res, err := http.Get(base + "/metrics")
+		if err == nil {
+			var sb strings.Builder
+			buf := make([]byte, 32<<10)
+			for {
+				n, err := res.Body.Read(buf)
+				sb.Write(buf[:n])
+				if err != nil {
+					break
+				}
+			}
+			res.Body.Close()
+			body = sb.String()
+			if strings.Contains(body, "taskrt_threads_count_cumulative") {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(body, "# TYPE taskrt_threads_count_cumulative gauge") ||
+		!strings.Contains(body, `taskrt_threads_count_cumulative{locality="0",instance="total"} 11`) {
+		t.Fatalf("prometheus exposition malformed:\n%s", body)
+	}
+
+	res, err := http.Get(base + "/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var got struct {
+		Series []struct {
+			Name   string `json:"name"`
+			Points []struct {
+				V float64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 1 || got.Series[0].Name != testCounter ||
+		len(got.Series[0].Points) == 0 || got.Series[0].Points[0].V != 11 {
+		t.Fatalf("series = %+v", got)
+	}
+
+	select {
+	case code := <-rc:
+		if code != 0 {
+			t.Fatalf("exit code = %d\nstderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sampling loop did not finish")
 	}
 }
 

@@ -135,6 +135,20 @@ func TestCmdPerfmonAgainstLiveServer(t *testing.T) {
 	}
 }
 
+func TestCmdInncabsProfile(t *testing.T) {
+	out := runTool(t, "inncabs", "-bench", "fib", "-size", "test",
+		"-threads", "2", "-samples", "1", "-profile")
+	for _, want := range []string{
+		"DAG profile", "work", "span (critical path)", "makespan",
+		"logical (work/span)", "achieved (work/makespan)",
+		"top spawn sites:", "fib.go:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdInncabsTrace(t *testing.T) {
 	traceFile := filepath.Join(t.TempDir(), "trace.json")
 	out := runTool(t, "inncabs", "-bench", "sort", "-size", "test",

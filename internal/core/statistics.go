@@ -35,6 +35,19 @@ func registerStatistics(r *Registry) {
 			return newStatisticsCounter(n, kind, reg)
 		}, nil)
 	}
+	// Percentile: exact when the base counter is histogram-backed
+	// (implements Quantiler), otherwise the percentile of periodic
+	// samples like the other statistics kinds.
+	r.MustRegisterType(Info{
+		TypeName: "/statistics/percentile",
+		HelpText: "returns the given percentile of its base counter's distribution " +
+			"(/statistics{<base-counter>}/percentile@Q[,interval-ms[,window]]); " +
+			"exact for histogram-backed bases, sampled otherwise",
+		Unit:    UnitNone,
+		Version: "1.0",
+	}, func(n Name, reg *Registry) (Counter, error) {
+		return newStatisticsCounter(n, "percentile", reg)
+	}, nil)
 }
 
 // StatisticsCounter aggregates periodic samples of a base counter. It
@@ -55,6 +68,12 @@ type StatisticsCounter struct {
 	lastT   time.Time
 	haveOne bool
 	stop    chan struct{}
+
+	// quantile is the requested percentile (0..100) for the
+	// "percentile" kind; direct marks a histogram-backed base that
+	// answers quantiles exactly, making periodic sampling unnecessary.
+	quantile float64
+	direct   Quantiler
 }
 
 func newStatisticsCounter(n Name, kind string, r *Registry) (*StatisticsCounter, error) {
@@ -67,17 +86,34 @@ func newStatisticsCounter(n Name, kind string, r *Registry) (*StatisticsCounter,
 	}
 	interval := time.Second
 	window := 10
+	quantile := 0.0
+	params := []string(nil)
 	if n.Parameters != "" {
-		parts := strings.Split(n.Parameters, ",")
-		ms, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		params = strings.Split(n.Parameters, ",")
+	}
+	if kind == "percentile" {
+		// First parameter is the percentile (50, 95, 99, 99.9, ...);
+		// interval and window follow for sampled (non-histogram) bases.
+		if len(params) == 0 {
+			return nil, fmt.Errorf("core: statistics counter %q needs a percentile parameter", n)
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(params[0]), 64)
+		if err != nil || q <= 0 || q > 100 {
+			return nil, fmt.Errorf("core: statistics counter %q: bad percentile %q", n, params[0])
+		}
+		quantile = q
+		params = params[1:]
+	}
+	if len(params) > 0 {
+		ms, err := strconv.Atoi(strings.TrimSpace(params[0]))
 		if err != nil || ms <= 0 {
-			return nil, fmt.Errorf("core: statistics counter %q: bad interval %q", n, parts[0])
+			return nil, fmt.Errorf("core: statistics counter %q: bad interval %q", n, params[0])
 		}
 		interval = time.Duration(ms) * time.Millisecond
-		if len(parts) > 1 {
-			w, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if len(params) > 1 {
+			w, err := strconv.Atoi(strings.TrimSpace(params[1]))
 			if err != nil || w <= 0 {
-				return nil, fmt.Errorf("core: statistics counter %q: bad window %q", n, parts[1])
+				return nil, fmt.Errorf("core: statistics counter %q: bad window %q", n, params[1])
 			}
 			window = w
 		}
@@ -85,14 +121,21 @@ func newStatisticsCounter(n Name, kind string, r *Registry) (*StatisticsCounter,
 	if !strings.HasPrefix(kind, "rolling_") {
 		window = 0
 	}
-	return &StatisticsCounter{
+	c := &StatisticsCounter{
 		name:     n,
 		info:     Info{TypeName: n.TypeName(), HelpText: "statistics/" + kind + " of " + n.BaseCounter, Unit: base.Info().Unit},
 		kind:     kind,
 		base:     base,
 		interval: interval,
 		window:   window,
-	}, nil
+		quantile: quantile,
+	}
+	if kind == "percentile" {
+		if qb, ok := base.(Quantiler); ok {
+			c.direct = qb
+		}
+	}
+	return c, nil
 }
 
 // Name implements Counter.
@@ -102,8 +145,12 @@ func (c *StatisticsCounter) Name() Name { return c.name }
 func (c *StatisticsCounter) Info() Info { return c.info }
 
 // Sample reads the base counter once and folds the observation into the
-// aggregation state.
+// aggregation state. A no-op for histogram-backed percentile counters,
+// which answer from the base's own distribution.
 func (c *StatisticsCounter) Sample() {
+	if c.direct != nil {
+		return
+	}
 	v := c.base.Value(false)
 	if !v.Valid() {
 		return
@@ -127,8 +174,12 @@ func (c *StatisticsCounter) Sample() {
 	}
 }
 
-// Start implements Startable: begins periodic sampling.
+// Start implements Startable: begins periodic sampling. Histogram-
+// backed percentile counters need no sampler and start nothing.
 func (c *StatisticsCounter) Start() {
+	if c.direct != nil {
+		return
+	}
 	c.mu.Lock()
 	if c.stop != nil {
 		c.mu.Unlock()
@@ -164,6 +215,17 @@ func (c *StatisticsCounter) Stop() {
 // Value implements Counter. Raw carries the statistic in fixed-point
 // (scaling statScale); Count carries the number of samples aggregated.
 func (c *StatisticsCounter) Value(reset bool) Value {
+	if c.direct != nil {
+		// Exact quantile straight from the base histogram; reset is
+		// deliberately not forwarded (the base distribution is shared
+		// with the base counter and any sibling percentiles).
+		v, ok := c.direct.Quantile(c.quantile / 100)
+		status := StatusValid
+		if !ok {
+			status = StatusInvalidData
+		}
+		return Value{Name: c.name.String(), Raw: v, Time: now(), Status: status}
+	}
 	c.mu.Lock()
 	samples := append([]float64(nil), c.samples...)
 	if reset {
@@ -193,6 +255,8 @@ func (c *StatisticsCounter) Value(reset bool) Value {
 			stat = stddev(samples)
 		case "median":
 			stat = median(samples)
+		case "percentile":
+			stat = percentileOf(samples, c.quantile)
 		}
 	}
 	return Value{
@@ -248,4 +312,21 @@ func median(xs []float64) float64 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// percentileOf is the nearest-rank percentile (q in 0..100) of xs.
+func percentileOf(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := int(q/100*float64(len(s)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
 }

@@ -1,0 +1,194 @@
+package taskrt
+
+// Post-mortem DAG analysis over a recorded trace: the TASKPROF
+// quantities. Work is the sum of all task own-times; span (the critical
+// path) is the longest chain of own-times through the spawn tree;
+// logical parallelism work/span bounds the speedup the task structure
+// admits on any number of workers, while achieved parallelism
+// work/makespan reports what this run actually extracted. Comparing the
+// two separates "the program does not expose parallelism" from "the
+// runtime failed to exploit it" — the distinction the paper's intrinsic
+// counters are built to make, applied after the fact.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SiteStats aggregates the tasks spawned from one source location.
+type SiteStats struct {
+	// Site is the spawn call site ("file.go:123"); "<unknown>" for
+	// tasks recorded without identity.
+	Site string
+	// Count is the number of tasks spawned there.
+	Count int64
+	// Total is the summed own-time of those tasks.
+	Total time.Duration
+	// Steals is how many of those tasks ran on a worker other than the
+	// one that spawned them via work stealing.
+	Steals int64
+}
+
+// TraceAnalysis is the result of AnalyzeTrace.
+type TraceAnalysis struct {
+	// Tasks is the number of recorded task executions.
+	Tasks int
+	// Roots is the number of tasks with no traced parent.
+	Roots int
+	// Steals is the number of tasks obtained by work stealing.
+	Steals int
+	// Inline is the number of tasks executed inline rather than from
+	// the scheduling loop.
+	Inline int
+	// Work is the total own execution time across all tasks.
+	Work time.Duration
+	// Span is the critical path: the longest parent-to-leaf chain of
+	// own-times through the spawn tree. Span <= Work always.
+	Span time.Duration
+	// Makespan is the wall-clock extent of the trace, from the
+	// earliest spawn to the latest task completion.
+	Makespan time.Duration
+	// LogicalParallelism is Work/Span: the parallelism inherent in the
+	// task structure. It may far exceed the worker count.
+	LogicalParallelism float64
+	// AchievedParallelism is Work/Makespan: the average number of
+	// workers that were doing useful work. At most the worker count.
+	AchievedParallelism float64
+	// Sites attributes work to spawn sites, sorted by Total descending.
+	Sites []SiteStats
+}
+
+// AnalyzeTrace replays a recorded trace as a spawn tree and computes
+// work, span and parallelism. Task ids increase parent-to-child, so a
+// single pass in decreasing-id order finalises every child before its
+// parent; tasks whose parent is absent from the trace (or that have no
+// identity) count as roots.
+func AnalyzeTrace(events []TraceEvent) TraceAnalysis {
+	a := TraceAnalysis{Tasks: len(events)}
+	if len(events) == 0 {
+		return a
+	}
+	idx := make(map[int64]int, len(events))
+	siteAgg := make(map[string]*SiteStats)
+	var minT, maxT time.Time
+	for i, ev := range events {
+		a.Work += ev.Duration
+		stolen := ev.StolenFrom >= 0
+		if stolen {
+			a.Steals++
+		}
+		if ev.Inline {
+			a.Inline++
+		}
+		begin := ev.SpawnTime
+		if begin.IsZero() {
+			begin = ev.Start
+		}
+		if minT.IsZero() || begin.Before(minT) {
+			minT = begin
+		}
+		if end := ev.Start.Add(ev.Duration); end.After(maxT) {
+			maxT = end
+		}
+		site := ev.Site
+		if site == "" {
+			site = "<unknown>"
+		}
+		s := siteAgg[site]
+		if s == nil {
+			s = &SiteStats{Site: site}
+			siteAgg[site] = s
+		}
+		s.Count++
+		s.Total += ev.Duration
+		if stolen {
+			s.Steals++
+		}
+		if ev.ID != 0 {
+			idx[ev.ID] = i
+		}
+	}
+	a.Makespan = maxT.Sub(minT)
+
+	order := make([]int, len(events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return events[order[x]].ID > events[order[y]].ID
+	})
+	// childSpan[i]: the largest finalised subtree span among task i's
+	// children, filled in as children are processed.
+	childSpan := make([]time.Duration, len(events))
+	for _, i := range order {
+		ev := events[i]
+		s := ev.Duration + childSpan[i]
+		if pi, ok := lookupParent(idx, ev); ok {
+			if s > childSpan[pi] {
+				childSpan[pi] = s
+			}
+			continue
+		}
+		a.Roots++
+		if s > a.Span {
+			a.Span = s
+		}
+	}
+	if a.Span > 0 {
+		a.LogicalParallelism = float64(a.Work) / float64(a.Span)
+	}
+	if a.Makespan > 0 {
+		a.AchievedParallelism = float64(a.Work) / float64(a.Makespan)
+	}
+
+	a.Sites = make([]SiteStats, 0, len(siteAgg))
+	for _, s := range siteAgg {
+		a.Sites = append(a.Sites, *s)
+	}
+	sort.Slice(a.Sites, func(x, y int) bool {
+		if a.Sites[x].Total != a.Sites[y].Total {
+			return a.Sites[x].Total > a.Sites[y].Total
+		}
+		return a.Sites[x].Site < a.Sites[y].Site
+	})
+	return a
+}
+
+func lookupParent(idx map[int64]int, ev TraceEvent) (int, bool) {
+	if ev.ID == 0 || ev.Parent == 0 {
+		return 0, false
+	}
+	pi, ok := idx[ev.Parent]
+	return pi, ok
+}
+
+// Summary renders the analysis for humans: the headline quantities plus
+// the top spawn sites by attributed work.
+func (a TraceAnalysis) Summary(topSites int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks                %d (%d roots, %d stolen, %d inline)\n",
+		a.Tasks, a.Roots, a.Steals, a.Inline)
+	fmt.Fprintf(&b, "work                 %v\n", a.Work)
+	fmt.Fprintf(&b, "span (critical path) %v\n", a.Span)
+	fmt.Fprintf(&b, "makespan             %v\n", a.Makespan)
+	fmt.Fprintf(&b, "parallelism          %.2f logical (work/span), %.2f achieved (work/makespan)\n",
+		a.LogicalParallelism, a.AchievedParallelism)
+	if topSites > 0 && len(a.Sites) > 0 {
+		fmt.Fprintf(&b, "top spawn sites:\n")
+		n := topSites
+		if n > len(a.Sites) {
+			n = len(a.Sites)
+		}
+		for _, s := range a.Sites[:n] {
+			pct := 0.0
+			if a.Work > 0 {
+				pct = 100 * float64(s.Total) / float64(a.Work)
+			}
+			fmt.Fprintf(&b, "  %-24s %8d tasks  %12v  %5.1f%% of work  (%d stolen)\n",
+				s.Site, s.Count, s.Total, pct, s.Steals)
+		}
+	}
+	return b.String()
+}

@@ -109,9 +109,7 @@ func (f *Future[T]) WaitContext(ctx context.Context) error {
 		// Deferred: the first waiter runs the task inline.
 		fn := f.fn
 		if w != nil {
-			t := newTask(func(*worker) { f.run(fn) })
-			t.ctx = f.ctx
-			w.executeInline(t)
+			w.executeInline(f.bodyTask(fn))
 		} else {
 			f.run(fn)
 		}

@@ -15,6 +15,15 @@ type task struct {
 	// cancellable). The worker publishes it as its current scope while
 	// the task runs, so tasks spawned from inside inherit it.
 	ctx context.Context
+	// meta is the task's causal-tracing identity; nil whenever tracing
+	// was off at spawn time.
+	meta *taskMeta
+	// depthNs is the spawn-path depth at spawn time: the critical-path
+	// length (in ns of own task time) accumulated from the root to this
+	// task's spawn point. Completion depth (depthNs + own duration)
+	// feeds the online span estimator behind the
+	// /runtime{...}/critical-path counters.
+	depthNs int64
 }
 
 var taskPool = sync.Pool{New: func() any { return new(task) }}
@@ -31,6 +40,8 @@ func newTask(fn func(w *worker)) *task {
 func freeTask(t *task) {
 	t.fn = nil
 	t.ctx = nil
+	t.meta = nil
+	t.depthNs = 0
 	taskPool.Put(t)
 }
 

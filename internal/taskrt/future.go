@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
+	"time"
 )
 
 // Policy selects how an Async task is launched, mirroring HPX's launch
@@ -96,6 +97,23 @@ type Future[T any] struct {
 	// was dropped because its context died, or a *PanicError when the
 	// task body panicked.
 	err error
+	// meta is the task's causal-tracing identity (nil with tracing
+	// off); it rides on the future so Deferred bodies executed at Wait
+	// keep their place in the spawn DAG.
+	meta *taskMeta
+	// depthNs is the spawn-path depth at the spawn point, feeding the
+	// online critical-path estimator.
+	depthNs int64
+}
+
+// bodyTask wraps the future's body into a pooled task carrying the
+// future's cancellation scope and causal identity.
+func (f *Future[T]) bodyTask(fn func() T) *task {
+	t := newTask(func(*worker) { f.run(fn) })
+	t.ctx = f.ctx
+	t.meta = f.meta
+	t.depthNs = f.depthNs
+	return t
 }
 
 // Spawn launches fn under the given policy on rt and returns a Future for
@@ -119,6 +137,18 @@ func spawn[T any](rt *Runtime, ctx context.Context, policy Policy, fn func() T, 
 	// caller's identity reuses w instead of consulting goroutine id
 	// again.
 	w := rt.currentWorker()
+	// Spawn-path depth (always, for the online span estimator) and
+	// causal identity (only while tracing): both need one clock read;
+	// with tracing off and an external caller neither is taken.
+	if tr := rt.loadTracer(); tr != nil {
+		nowNs := time.Now().UnixNano()
+		if w != nil {
+			f.depthNs = w.spawnDepthNs(nowNs)
+		}
+		f.meta = tr.newMeta(w, nowNs, 3)
+	} else if w != nil {
+		f.depthNs = w.spawnDepthNs(time.Now().UnixNano())
+	}
 	if ctx == nil && w != nil {
 		ctx = w.curCtx // join the running task's cancellation tree
 	}
@@ -149,9 +179,7 @@ func spawn[T any](rt *Runtime, ctx context.Context, policy Policy, fn func() T, 
 		// Work-first execution at the spawn point. When on a worker, the
 		// execution is accounted as an inline task.
 		if w != nil {
-			t := newTask(func(*worker) { f.run(fn) })
-			t.ctx = ctx
-			w.executeInline(t)
+			w.executeInline(f.bodyTask(fn))
 		} else {
 			f.run(fn)
 		}
@@ -165,16 +193,13 @@ func spawn[T any](rt *Runtime, ctx context.Context, policy Policy, fn func() T, 
 			// shed.
 			rt.shed.Add(1)
 			if w != nil {
-				t := newTask(func(*worker) { f.run(fn) })
-				t.ctx = ctx
-				w.executeInline(t)
+				w.executeInline(f.bodyTask(fn))
 			} else {
 				f.run(fn)
 			}
 			return f
 		}
-		t := newTask(func(*worker) { f.run(fn) })
-		t.ctx = ctx
+		t := f.bodyTask(fn)
 		if err := rt.submitFrom(w, t); err != nil {
 			// Runtime shut down: fall back to deferred execution so the
 			// future still completes when queried.
@@ -249,9 +274,7 @@ func (f *Future[T]) Wait() {
 		// Deferred: the first waiter runs the task inline.
 		fn := f.fn
 		if w != nil {
-			t := newTask(func(*worker) { f.run(fn) })
-			t.ctx = f.ctx
-			w.executeInline(t)
+			w.executeInline(f.bodyTask(fn))
 		} else {
 			f.run(fn)
 		}

@@ -30,6 +30,7 @@ type workerMetrics struct {
 	taskStartNs    atomic.Int64 // wall-clock ns the current task began; 0 if idle
 	healthStalled  atomic.Int64 // stalled_task events attributed to this worker
 	healthStarved  atomic.Int64 // starved_worker events attributed to this worker
+	spanMaxNs      atomic.Int64 // running max of task completion depth (online span estimate)
 	_              [cacheLineSize]byte
 }
 
@@ -43,6 +44,7 @@ func (m *workerMetrics) reset() {
 	m.inlineExecuted.Store(0)
 	m.healthStalled.Store(0)
 	m.healthStarved.Store(0)
+	m.spanMaxNs.Store(0)
 }
 
 func (m *workerMetrics) notePending(n int) {
@@ -169,14 +171,20 @@ func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
 		counter, help string
 		num           func(m *workerMetrics) int64
 		resetNum      func(m *workerMetrics)
+		// hist is the per-worker duration distribution behind this
+		// average; it makes the registered counter histogram-backed so
+		// /statistics{...}/percentile@Q answers exactly.
+		hist func(w *worker) *core.Histogram
 	}
 	ratios := []ratioSpec{
 		{"time/average", "average task duration (task granularity)",
 			func(m *workerMetrics) int64 { return m.taskTimeNs.Load() },
-			func(m *workerMetrics) { m.taskTimeNs.Store(0); m.tasksExecuted.Store(0) }},
+			func(m *workerMetrics) { m.taskTimeNs.Store(0); m.tasksExecuted.Store(0) },
+			func(w *worker) *core.Histogram { return &w.durHist }},
 		{"time/average-overhead", "average per-task scheduling overhead",
 			func(m *workerMetrics) int64 { return m.overheadNs.Load() },
-			func(m *workerMetrics) { m.overheadNs.Store(0); m.tasksExecuted.Store(0) }},
+			func(m *workerMetrics) { m.overheadNs.Store(0); m.tasksExecuted.Store(0) },
+			func(w *worker) *core.Histogram { return &w.ovhHist }},
 	}
 	for _, s := range ratios {
 		s := s
@@ -184,7 +192,7 @@ func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
 			Unit: core.UnitNanoseconds, Version: "1.0"}
 		registerRatio := func(name core.Name, workers []int) error {
 			ws := workers
-			return reg.Register(newRatioCounter(name, info,
+			rc := newRatioCounter(name, info,
 				func() (int64, int64) {
 					var num, den int64
 					for _, w := range ws {
@@ -196,8 +204,17 @@ func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
 				func() {
 					for _, w := range ws {
 						s.resetNum(&rt.workers[w].metrics)
+						s.hist(rt.workers[w]).Reset()
 					}
-				}))
+				})
+			return reg.Register(&histRatioCounter{ratioCounter: rc,
+				snapshot: func() core.HistogramSnapshot {
+					var m core.HistogramSnapshot
+					for _, w := range ws {
+						m.Merge(s.hist(rt.workers[w]).Snapshot())
+					}
+					return m
+				}})
 		}
 		total := core.Name{Object: "threads", Counter: s.counter}.
 			WithInstances(core.LocalityInstance(loc, "total", -1)...)
@@ -391,6 +408,61 @@ func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
 		}
 	}
 
+	// Critical-path counters: the online span estimate and the derived
+	// logical parallelism. Each completing task's spawn-path depth plus
+	// its own time is a lower bound on the critical path; the running
+	// max over all completions estimates the span without replaying the
+	// DAG (AnalyzeTrace gives the exact value post-mortem).
+	spanRead := func() int64 {
+		var max int64
+		for _, w := range rt.workers {
+			if v := w.metrics.spanMaxNs.Load(); v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	spanName := core.Name{Object: "runtime", Counter: "critical-path/span"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	spanInfo := core.Info{TypeName: "/runtime/critical-path/span",
+		HelpText: "online estimate of the critical path (longest spawn-chain of task own-times)",
+		Unit:     core.UnitNanoseconds, Version: "1.0"}
+	if err := reg.Register(core.NewFuncCounter(spanName, spanInfo, 0, spanRead, func() {
+		for _, w := range rt.workers {
+			w.metrics.spanMaxNs.Store(0)
+		}
+	})); err != nil {
+		return err
+	}
+	parName := core.Name{Object: "runtime", Counter: "critical-path/parallelism"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	parInfo := core.Info{TypeName: "/runtime/critical-path/parallelism",
+		HelpText: "logical parallelism: total task time over the online span estimate",
+		Unit:     core.UnitNone, Version: "1.0"}
+	if err := reg.Register(newRatioCounter(parName, parInfo,
+		func() (int64, int64) {
+			var work int64
+			for _, w := range rt.workers {
+				work += w.metrics.taskTimeNs.Load()
+			}
+			return work, spanRead()
+		},
+		func() {})); err != nil {
+		return err
+	}
+
+	// Trace-buffer drops: a saturated trace buffer silently truncates
+	// the DAG, so the drop count is surfaced through the counter plane.
+	trcName := core.Name{Object: "runtime", Counter: "trace/dropped"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	trcInfo := core.Info{TypeName: "/runtime/trace/dropped",
+		HelpText: "trace events dropped at the buffer limit",
+		Unit:     core.UnitEvents, Version: "1.0"}
+	if err := reg.Register(core.NewFuncCounter(trcName, trcInfo, 0,
+		rt.TraceDropped, rt.resetTraceDropped)); err != nil {
+		return err
+	}
+
 	// Per-worker-attributable health events, with a summed total.
 	healthSpecs := []struct {
 		counter, help string
@@ -453,3 +525,18 @@ func (c *ratioCounter) Value(reset bool) core.Value {
 }
 
 func (c *ratioCounter) Reset() { c.reset() }
+
+// histRatioCounter is a ratioCounter whose distribution is also
+// available as a histogram, so the /statistics/percentile meta counter
+// can answer quantiles exactly instead of sampling.
+type histRatioCounter struct {
+	*ratioCounter
+	snapshot func() core.HistogramSnapshot
+}
+
+// Quantile implements core.Quantiler.
+func (c *histRatioCounter) Quantile(q float64) (int64, bool) {
+	return c.snapshot().Quantile(q)
+}
+
+var _ core.Quantiler = (*histRatioCounter)(nil)

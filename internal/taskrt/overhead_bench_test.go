@@ -75,13 +75,17 @@ func runGrainLoad(rt *Runtime, nTasks int, grain time.Duration) time.Duration {
 }
 
 // measureGrain times one batch, optionally with the counter set
-// registered and polled at interval during the run, and optionally with
-// the default watchdog sweeping the health heuristics.
-func measureGrain(workers, nTasks int, grain time.Duration, sampled, watchdog bool) time.Duration {
+// registered and polled at interval during the run, optionally with
+// the default watchdog sweeping the health heuristics, and optionally
+// with causal tracing recording every task.
+func measureGrain(workers, nTasks int, grain time.Duration, sampled, watchdog, traced bool) time.Duration {
 	rt := New(WithWorkers(workers))
 	defer rt.Shutdown()
 	if watchdog {
 		rt.StartWatchdog(WatchdogConfig{})
+	}
+	if traced {
+		rt.EnableTracing(nTasks + 16) // roomy: no drops during the measurement
 	}
 
 	stop := make(chan struct{})
@@ -159,7 +163,7 @@ func measureGrainPoint(workers int, grain time.Duration, reps int) grainPoint {
 	best := func(sampled bool) time.Duration {
 		min := time.Duration(1<<62 - 1)
 		for i := 0; i < reps; i++ {
-			if d := measureGrain(workers, nTasks, grain, sampled, false); d < min {
+			if d := measureGrain(workers, nTasks, grain, sampled, false, false); d < min {
 				min = d
 			}
 		}
@@ -198,10 +202,10 @@ func measureWatchdogOverheadPct(workers, reps int) float64 {
 	bare := time.Duration(1<<62 - 1)
 	guarded := bare
 	for i := 0; i < reps; i++ {
-		if d := measureGrain(workers, nTasks, grain, false, false); d < bare {
+		if d := measureGrain(workers, nTasks, grain, false, false, false); d < bare {
 			bare = d
 		}
-		if d := measureGrain(workers, nTasks, grain, false, true); d < guarded {
+		if d := measureGrain(workers, nTasks, grain, false, true, false); d < guarded {
 			guarded = d
 		}
 	}
@@ -211,6 +215,53 @@ func measureWatchdogOverheadPct(workers, reps int) float64 {
 		pct = 0 // run-to-run noise: the watchdog cannot speed the run up
 	}
 	return pct
+}
+
+// measureTracingOverheadPct compares the 10 µs grain batch with and
+// without causal tracing. Tracing allocates a taskMeta per spawn,
+// captures the spawn stack's raw PCs, and appends one event per task
+// under the tracer mutex; the issue budgets it at <= 25 % on this
+// grain. The tracing-OFF path adds only one atomic tracer load per
+// task over the previous runtime, which is below measurement noise —
+// the bare configuration here IS the tracing-off cost, tracked across
+// PRs through SpawnGetNs and the grain table in BENCH_taskrt.json.
+func measureTracingOverheadPct(workers, reps int) float64 {
+	const grain = 10 * time.Microsecond
+	nTasks := tasksForGrain(grain)
+	// Interleaved minima, like the watchdog measurement: machine-load
+	// drift hits both configurations equally.
+	bare := time.Duration(1<<62 - 1)
+	traced := bare
+	for i := 0; i < reps; i++ {
+		if d := measureGrain(workers, nTasks, grain, false, false, false); d < bare {
+			bare = d
+		}
+		if d := measureGrain(workers, nTasks, grain, false, false, true); d < traced {
+			traced = d
+		}
+	}
+	pct := (float64(traced.Nanoseconds()) - float64(bare.Nanoseconds())) /
+		float64(bare.Nanoseconds()) * 100
+	if pct < 0 {
+		pct = 0 // run-to-run noise: tracing cannot speed the run up
+	}
+	return pct
+}
+
+// TestTracingOverheadWithinBudget asserts causal tracing's cost at the
+// 10 µs grain stays within the issue's 25 % budget.
+func TestTracingOverheadWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing measurement; the race detector skews the ratio")
+	}
+	pct := measureTracingOverheadPct(runtime.GOMAXPROCS(0), 5)
+	t.Logf("tracing overhead at 10µs grain: %.2f%%", pct)
+	if pct > 25 {
+		t.Errorf("tracing overhead %.2f%% exceeds the 25%% budget", pct)
+	}
 }
 
 // TestWatchdogOverheadWithinBudget asserts the watchdog's cost on the
@@ -282,6 +333,7 @@ type benchReport struct {
 	GoidNs      float64      `json:"goroutine_id_ns"`
 	LookupNs    float64      `json:"current_worker_lookup_ns"`
 	WatchdogPct float64      `json:"watchdog_overhead_pct_10us"`
+	TracingPct  float64      `json:"tracing_overhead_pct_10us"`
 	Grains      []grainPoint `json:"overhead_by_grain"`
 }
 
@@ -327,6 +379,7 @@ func TestWriteBenchJSON(t *testing.T) {
 		SpawnGetNs:  measureSpawnGetNs(),
 		GoidNs:      measureNs(100000, func() { goroutineID() }),
 		WatchdogPct: measureWatchdogOverheadPct(workers, 8),
+		TracingPct:  measureTracingOverheadPct(workers, 8),
 	}
 	rt := New(WithWorkers(1))
 	rep.LookupNs = measureNs(100000, func() { rt.currentWorker() })

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Option configures a Runtime.
@@ -124,6 +126,20 @@ type worker struct {
 	// spawned from inside inherit it, forming the cancellation tree.
 	// Only touched from the worker's own goroutine.
 	curCtx context.Context
+	// curTaskID is the tracing id of the task currently running on this
+	// worker (0 between tasks or for untraced tasks); children spawned
+	// from inside record it as their parent. Only touched from the
+	// worker's own goroutine.
+	curTaskID int64
+	// curDepthNs is the spawn-path depth of the currently running task,
+	// the base the online critical-path estimator extends at every
+	// nested spawn. Only touched from the worker's own goroutine.
+	curDepthNs int64
+	// durHist and ovhHist are per-worker log-bucketed histograms of own
+	// task duration and per-task dispatch overhead, backing the
+	// percentile counters. Owner-recorded, concurrently snapshotted.
+	durHist core.Histogram
+	ovhHist core.Histogram
 }
 
 // ErrClosed is returned by operations on a shut-down runtime.
@@ -364,6 +380,9 @@ func (w *worker) steal() *task {
 		}
 		if t := v.queue.popFront(); t != nil {
 			w.metrics.stolen.Add(1)
+			if t.meta != nil {
+				t.meta.stolenFrom = int32(v.id)
+			}
 			return t
 		}
 	}
@@ -376,21 +395,31 @@ func (w *worker) steal() *task {
 // timestamp as scheduling overhead, reusing the one clock read.
 func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 	begin := time.Now()
+	var dispatchNs int64
 	if !searchStart.IsZero() {
-		w.metrics.overheadNs.Add(begin.Sub(searchStart).Nanoseconds())
+		dispatchNs = begin.Sub(searchStart).Nanoseconds()
+		w.metrics.overheadNs.Add(dispatchNs)
 	}
 	saved := w.nestedNs
 	w.nestedNs = 0
-	// Publish the running task's scope (for cancellation inheritance)
-	// and start time (for watchdog stall detection); restore the
-	// enclosing task's view afterwards so nested inline execution is
-	// transparent.
+	// Publish the running task's scope (for cancellation inheritance),
+	// identity and spawn-path depth (for causal tracing and the online
+	// span estimator), and start time (for watchdog stall detection);
+	// restore the enclosing task's view afterwards so nested inline
+	// execution is transparent.
 	savedCtx := w.curCtx
 	w.curCtx = t.ctx
+	savedID, savedDepth := w.curTaskID, w.curDepthNs
+	w.curTaskID = 0
+	if t.meta != nil {
+		w.curTaskID = t.meta.id
+	}
+	w.curDepthNs = t.depthNs
 	savedStart := w.metrics.taskStartNs.Swap(begin.UnixNano())
 	t.fn(w)
 	w.metrics.taskStartNs.Store(savedStart)
 	w.curCtx = savedCtx
+	w.curTaskID, w.curDepthNs = savedID, savedDepth
 	total := time.Since(begin).Nanoseconds()
 	own := total - w.nestedNs
 	if own < 0 {
@@ -399,8 +428,35 @@ func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 	w.nestedNs = saved + total
 	w.metrics.taskTimeNs.Add(own)
 	w.metrics.tasksExecuted.Add(1)
-	w.rt.record(TraceEvent{Worker: w.id, Start: begin,
-		Duration: time.Duration(own), Inline: inline})
+	// Derived-counter feeds: duration/overhead histograms (percentile
+	// counters) and the running span maximum (critical-path counters).
+	// All owner-local; the stores stay on this worker's cache lines.
+	w.durHist.Record(own)
+	if dispatchNs > 0 {
+		w.ovhHist.Record(dispatchNs)
+	}
+	if d := t.depthNs + own; d > w.metrics.spanMaxNs.Load() {
+		w.metrics.spanMaxNs.Store(d)
+	}
+	if tr := w.rt.loadTracer(); tr != nil {
+		ev := TraceEvent{
+			Worker:      w.id,
+			SpawnWorker: -1,
+			StolenFrom:  -1,
+			Start:       begin,
+			Duration:    time.Duration(own),
+			Inline:      inline,
+		}
+		if m := t.meta; m != nil {
+			ev.ID = m.id
+			ev.Parent = m.parent
+			ev.SpawnWorker = int(m.spawnWorker)
+			ev.StolenFrom = int(m.stolenFrom)
+			ev.SpawnTime = time.Unix(0, m.spawnNs)
+			ev.sitePCs = m.sitePCs
+		}
+		tr.record(ev)
+	}
 }
 
 // execute runs one task from the scheduling loop and recycles it.
@@ -421,6 +477,23 @@ func (w *worker) executeInline(t *task) {
 	w.timeTask(t, true, time.Time{})
 	w.metrics.inlineExecuted.Add(1)
 	freeTask(t)
+}
+
+// spawnDepthNs returns the spawn-path depth for a task being spawned
+// now from w's current task: the running task's depth base plus the
+// task's own elapsed time so far (the wall time since the task began,
+// minus time spent in nested inline tasks). Called only from w's own
+// goroutine mid-task; between tasks it degrades to the depth base.
+func (w *worker) spawnDepthNs(nowNs int64) int64 {
+	start := w.metrics.taskStartNs.Load()
+	if start == 0 {
+		return w.curDepthNs
+	}
+	elapsed := nowNs - start - w.nestedNs
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return w.curDepthNs + elapsed
 }
 
 // currentWorker returns the worker the calling goroutine belongs to, or

@@ -59,6 +59,59 @@ func TestTracingBufferLimit(t *testing.T) {
 	}
 }
 
+func TestTracingCausalFields(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	rt.EnableTracing(0)
+	f := AsyncF(rt, func() int {
+		c1 := AsyncF(rt, func() int { busySpin(20 * time.Microsecond); return 1 })
+		c2 := AsyncF(rt, func() int { busySpin(20 * time.Microsecond); return 2 })
+		return c1.Get() + c2.Get()
+	})
+	if got := f.Get(); got != 3 {
+		t.Fatalf("result = %d", got)
+	}
+	events, _ := rt.TraceEvents()
+	if len(events) != 3 {
+		t.Fatalf("events = %d want 3", len(events))
+	}
+	byID := map[int64]TraceEvent{}
+	var rootID int64
+	for _, ev := range events {
+		if ev.ID <= 0 {
+			t.Fatalf("task without identity: %+v", ev)
+		}
+		if _, dup := byID[ev.ID]; dup {
+			t.Fatalf("duplicate task id %d", ev.ID)
+		}
+		byID[ev.ID] = ev
+		if ev.Parent == 0 {
+			rootID = ev.ID
+		}
+		if ev.Site == "" || !strings.HasPrefix(ev.Site, "trace_test.go:") {
+			t.Fatalf("spawn site = %q, want trace_test.go:N", ev.Site)
+		}
+		if ev.SpawnTime.IsZero() || ev.SpawnTime.After(ev.Start) {
+			t.Fatalf("spawn time %v not before start %v", ev.SpawnTime, ev.Start)
+		}
+	}
+	if rootID == 0 {
+		t.Fatal("no root task (Parent == 0)")
+	}
+	children := 0
+	for _, ev := range events {
+		if ev.ID == rootID {
+			continue
+		}
+		if ev.Parent != rootID {
+			t.Fatalf("task %d has parent %d, want root %d", ev.ID, ev.Parent, rootID)
+		}
+		children++
+	}
+	if children != 2 {
+		t.Fatalf("children of root = %d want 2", children)
+	}
+}
+
 func TestTracingOffByDefault(t *testing.T) {
 	rt := newTestRuntime(t, 1)
 	AsyncF(rt, func() int { return 0 }).Get()
@@ -84,13 +137,36 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(parsed) != len(events) {
-		t.Fatalf("chrome events = %d, recorded = %d", len(parsed), len(events))
-	}
+	counts := map[string]int{}
 	for _, ev := range parsed {
-		if ev["ph"] != "X" || ev["ts"].(float64) < 0 {
-			t.Fatalf("malformed event %v", ev)
+		ph, _ := ev["ph"].(string)
+		counts[ph]++
+		switch ph {
+		case "X":
+			if ev["ts"].(float64) < 0 || ev["dur"].(float64) <= 0 {
+				t.Fatalf("malformed slice %v", ev)
+			}
+		case "M":
+			name, _ := ev["name"].(string)
+			if name != "process_name" && name != "thread_name" {
+				t.Fatalf("unexpected metadata %v", ev)
+			}
+		case "s", "f":
+			if ev["id"] == "" {
+				t.Fatalf("flow event without id: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q in %v", ph, ev)
 		}
+	}
+	if counts["X"] != len(events) {
+		t.Fatalf("slices = %d, recorded = %d", counts["X"], len(events))
+	}
+	if counts["M"] == 0 {
+		t.Fatal("no process/thread name metadata emitted")
+	}
+	if counts["s"] != counts["f"] {
+		t.Fatalf("unbalanced flow events: %d starts, %d finishes", counts["s"], counts["f"])
 	}
 	// Empty trace: valid empty JSON array.
 	sb.Reset()

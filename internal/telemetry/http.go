@@ -1,0 +1,139 @@
+package telemetry
+
+// HTTP export: GET /metrics serves the latest sample of every series in
+// the Prometheus text exposition format (version 0.0.4); GET /series
+// serves the full ring of every series as JSON for ad-hoc dashboards.
+// Only the Go standard library is used.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Handler returns an http.Handler exposing the sampler:
+//
+//	GET /metrics  Prometheus text format, latest point per series
+//	GET /series   JSON: {"series":[{"name":...,"points":[{"t","v","n"}]}]}
+func Handler(s *Sampler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, s)
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(struct {
+			Series []Series `json:"series"`
+		}{Series: s.Snapshot()})
+	})
+	return mux
+}
+
+// promMetric is one exportable sample: a sanitized metric name, its
+// label set, and the value.
+type promMetric struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// WritePrometheus renders the latest point of every series in the
+// Prometheus text format. HPX-style counter names map onto metric
+// names and labels:
+//
+//	/threads{locality#0/worker-thread#3}/time/average
+//	  -> taskrt_threads_time_average{locality="0",instance="worker-thread#3"}
+//	/statistics{<base>}/percentile@95
+//	  -> taskrt_statistics_percentile{base="<base>",params="95"}
+//
+// Counter names that do not parse are exported whole under
+// taskrt_counter{name="..."} rather than dropped.
+func WritePrometheus(w interface{ Write([]byte) (int, error) }, s *Sampler) {
+	byMetric := map[string][]promMetric{}
+	var order []string
+	for _, series := range s.Latest() {
+		m := toPromMetric(series.Name, series.Points[0].Value)
+		if _, seen := byMetric[m.name]; !seen {
+			order = append(order, m.name)
+		}
+		byMetric[m.name] = append(byMetric[m.name], m)
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		fmt.Fprintf(w, "# HELP %s performance counter %s\n", name, name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		for _, m := range byMetric[name] {
+			fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels,
+				strconv.FormatFloat(m.value, 'g', -1, 64))
+		}
+	}
+}
+
+func toPromMetric(counter string, value float64) promMetric {
+	n, err := core.ParseName(counter)
+	if err != nil {
+		return promMetric{
+			name:   "taskrt_counter",
+			labels: `{name="` + escapeLabel(counter) + `"}`,
+			value:  value,
+		}
+	}
+	name := sanitizeMetricName("taskrt" + n.TypeName())
+	var labels []string
+	for _, inst := range n.Instances {
+		if inst.Name == "locality" && inst.HasIndex {
+			labels = append(labels, `locality="`+strconv.FormatInt(inst.Index, 10)+`"`)
+			continue
+		}
+		labels = append(labels, `instance="`+escapeLabel(inst.String())+`"`)
+	}
+	if n.BaseCounter != "" {
+		labels = append(labels, `base="`+escapeLabel(n.BaseCounter)+`"`)
+	}
+	if n.Parameters != "" {
+		labels = append(labels, `params="`+escapeLabel(n.Parameters)+`"`)
+	}
+	ls := ""
+	if len(labels) > 0 {
+		ls = "{" + strings.Join(labels, ",") + "}"
+	}
+	return promMetric{name: name, labels: ls, value: value}
+}
+
+// sanitizeMetricName maps a counter type path onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:], collapsing runs of other
+// characters into single underscores.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	lastUnderscore := false
+	for _, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && b.Len() > 0)
+		if !ok {
+			if !lastUnderscore && b.Len() > 0 {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+			continue
+		}
+		b.WriteRune(r)
+		lastUnderscore = r == '_'
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote,
+// newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,223 @@
+// Package telemetry is the live export plane over the performance
+// counter system: a fixed-capacity time-series sampler that any counter
+// source (a local registry, or a remote application reached over
+// parcel) feeds, and an HTTP handler that serves the recent series as a
+// Prometheus text exposition and as a JSON snapshot. The paper's
+// counters answer one query at a time; this layer turns the same
+// counters into something a dashboard can watch while the application
+// runs, without the application adjusting its behaviour.
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Point is one observation of one counter.
+type Point struct {
+	// Time is when the sample was taken.
+	Time time.Time `json:"t"`
+	// Value is the scaled counter value.
+	Value float64 `json:"v"`
+	// Count is the counter's observation count (0 when the counter
+	// does not carry one).
+	Count int64 `json:"n,omitempty"`
+}
+
+// Series is a named sequence of points, oldest first.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// ring is a fixed-capacity point buffer.
+type ring struct {
+	buf  []Point
+	next int
+	full bool
+}
+
+func (r *ring) push(p Point) {
+	r.buf[r.next] = p
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *ring) points() []Point {
+	if !r.full {
+		return append([]Point(nil), r.buf[:r.next]...)
+	}
+	out := make([]Point, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// DefaultCapacity is the per-series ring capacity when NewSampler is
+// given a non-positive one: at a one-second sampling interval this
+// keeps ~5 minutes of history per counter.
+const DefaultCapacity = 300
+
+// Sampler keeps the most recent points of every observed series. All
+// methods are safe for concurrent use; a sampling loop feeds it while
+// HTTP handlers snapshot it.
+type Sampler struct {
+	mu       sync.Mutex
+	capacity int
+	series   map[string]*ring
+	order    []string // first-observation order, for stable output
+}
+
+// NewSampler creates a sampler keeping up to capacity points per
+// series (DefaultCapacity when capacity <= 0).
+func NewSampler(capacity int) *Sampler {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Sampler{capacity: capacity, series: make(map[string]*ring)}
+}
+
+// Observe appends one point to the named series, evicting the oldest
+// point once the series is at capacity.
+func (s *Sampler) Observe(name string, p Point) {
+	s.mu.Lock()
+	r := s.series[name]
+	if r == nil {
+		r = &ring{buf: make([]Point, s.capacity)}
+		s.series[name] = r
+		s.order = append(s.order, name)
+	}
+	r.push(p)
+	s.mu.Unlock()
+}
+
+// ObserveValue folds one counter evaluation into the matching series.
+// Invalid values are dropped: a counter that cannot answer right now
+// (no data yet, target unreachable) leaves a gap instead of a zero.
+func (s *Sampler) ObserveValue(v core.Value) {
+	if !v.Valid() {
+		return
+	}
+	t := v.Time
+	if t.IsZero() {
+		t = time.Now()
+	}
+	s.Observe(v.Name, Point{Time: t, Value: v.Float64(), Count: v.Count})
+}
+
+// Snapshot copies all series in first-observation order.
+func (s *Sampler) Snapshot() []Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Series, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, Series{Name: name, Points: s.series[name].points()})
+	}
+	return out
+}
+
+// Latest returns the most recent point of each series, in
+// first-observation order. ok is false for a series observed but
+// currently empty (cannot happen through Observe, but kept total).
+func (s *Sampler) Latest() []Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Series, 0, len(s.order))
+	for _, name := range s.order {
+		pts := s.series[name].points()
+		if len(pts) == 0 {
+			continue
+		}
+		out = append(out, Series{Name: name, Points: pts[len(pts)-1:]})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Collector: periodic sampling of a counter source.
+
+// Source yields one batch of counter values per tick. RegistrySource
+// adapts a local registry's active set; perfmon adapts its parcel
+// client the same way for remote targets.
+type Source func() []core.Value
+
+// RegistrySource samples a registry's active counter set. With reset,
+// every sample evaluates-and-resets (per-interval deltas, the paper's
+// per-sample measurement style).
+func RegistrySource(reg *core.Registry, reset bool) Source {
+	return func() []core.Value { return reg.EvaluateActive(reset) }
+}
+
+// Collector drives a Source into a Sampler at a fixed interval.
+type Collector struct {
+	sampler  *Sampler
+	src      Source
+	interval time.Duration
+
+	mu   sync.Mutex
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCollector creates a collector sampling src into s every interval
+// (minimum 10ms; 1s when interval <= 0).
+func NewCollector(s *Sampler, src Source, interval time.Duration) *Collector {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &Collector{sampler: s, src: src, interval: interval}
+}
+
+// SampleOnce pulls one batch from the source immediately.
+func (c *Collector) SampleOnce() {
+	for _, v := range c.src() {
+		c.sampler.ObserveValue(v)
+	}
+}
+
+// Start begins periodic sampling (idempotent). The first batch is
+// taken synchronously so the export plane is never empty after Start.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.stop = stop
+	c.mu.Unlock()
+	c.SampleOnce()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.SampleOnce()
+			}
+		}
+	}()
+}
+
+// Stop ends periodic sampling (idempotent).
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	stop := c.stop
+	c.stop = nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		c.wg.Wait()
+	}
+}
