@@ -9,11 +9,17 @@
 // failed. With -stale (default on), samples taken while the target is
 // unreachable report the last-known value tagged "stale".
 //
+// -counter is repeatable: K counters are bound once into a remote bulk
+// set and every sample is then a single wire exchange (evaluate_bulk),
+// not K round trips. Against servers predating the bulk op the client
+// silently degrades to per-counter requests.
+//
 // Usage:
 //
 //	perfmon -addr 127.0.0.1:7110 -types
 //	perfmon -addr 127.0.0.1:7110 -discover '/threads{locality#0/worker-thread#*}/time/average'
 //	perfmon -addr 127.0.0.1:7110 -counter '/threads{locality#0/total}/idle-rate' -interval 1s -n 10
+//	perfmon -addr 127.0.0.1:7110 -counter <a> -counter <b> -counter <c> -interval 1s -n 60
 package main
 
 import (
@@ -22,10 +28,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/parcel"
 )
+
+// counterList is a repeatable -counter flag.
+type counterList []string
+
+func (c *counterList) String() string { return strings.Join(*c, ",") }
+
+func (c *counterList) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -38,7 +56,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		addr     = fs.String("addr", "127.0.0.1:7110", "parcel address of the target application")
 		types    = fs.Bool("types", false, "list the remote counter types")
 		discover = fs.String("discover", "", "expand a remote counter pattern")
-		counter  = fs.String("counter", "", "remote counter to read")
+		counters counterList
 		interval = fs.Duration("interval", time.Second, "sampling interval with -n > 1")
 		n        = fs.Int("n", 1, "number of samples")
 		reset    = fs.Bool("reset", false, "evaluate-and-reset on each sample")
@@ -50,6 +68,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		httpAddr = fs.String("http", "", "serve the sampled series over HTTP at this address (/metrics Prometheus text, /series JSON)")
 		csvPath  = fs.String("csv", "", "append samples as CSV to this file (header row + one line per sample)")
 	)
+	fs.Var(&counters, "counter", "remote counter to read (repeatable; all sampled in one exchange)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -59,7 +78,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Retries:    *retries,
 		ServeStale: *stale,
 	}
-	if *counter != "" && *n > 1 {
+	if len(counters) > 0 && *n > 1 {
 		// A sampling monitor should re-probe a dead target at its own
 		// cadence, not the breaker's generic cooldown — otherwise a
 		// fast loop can run out before the breaker half-opens again.
@@ -93,7 +112,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		for _, name := range names {
 			fmt.Fprintln(stdout, name)
 		}
-	case *counter != "":
+	case len(counters) > 0:
 		ctx := context.Background()
 		if *deadline > 0 {
 			var cancel context.CancelFunc
@@ -110,7 +129,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 			defer exp.close()
 		}
-		return sampleLoop(ctx, cli, stdout, stderr, exp, *counter, *reset, *n, *interval, *watchdog)
+		return sampleLoop(ctx, cli, stdout, stderr, exp, counters, *reset, *n, *interval, *watchdog)
 	default:
 		fs.Usage()
 		return 2
@@ -118,19 +137,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// sampleLoop reads the counter n times, interval apart. One failed
-// sample is not fatal to the run — the monitor must never die with the
-// application it observes — so errors are reported, the sample marked
-// missed, and the loop continues; only a run where every sample failed
-// exits non-zero. ctx bounds the whole loop (requests and the sleeps
-// between them); a lapsed deadline stops the run with exit code 1.
-// With watchdog > 0, one warning is printed per stall episode: when no
-// sample has succeeded for that long, and again only after a recovery.
+// sampleLoop reads the counters n times, interval apart. The counters
+// are bound once into a remote bulk set, so each sample is one wire
+// exchange regardless of how many counters are monitored (with
+// transparent per-counter fallback against pre-bulk servers). One
+// failed sample is not fatal to the run — the monitor must never die
+// with the application it observes — so errors are reported, the sample
+// marked missed, and the loop continues; a sample counts as good when
+// at least one counter answered (fresh or stale), and only a run where
+// every sample failed exits non-zero. ctx bounds the whole loop
+// (requests and the sleeps between them); a lapsed deadline stops the
+// run with exit code 1. With watchdog > 0, one warning is printed per
+// stall episode: when no sample has succeeded for that long, and again
+// only after a recovery.
 func sampleLoop(ctx context.Context, cli *parcel.Client, stdout, stderr io.Writer,
-	exp *exporter, counter string, reset bool, n int, interval, watchdog time.Duration) int {
+	exp *exporter, counters []string, reset bool, n int, interval, watchdog time.Duration) int {
+	set := cli.NewBulkSet(counters)
 	good := 0
 	lastGood := time.Now()
 	stallWarned := false
+	miss := func(i int, why string) {
+		fmt.Fprintf(stderr, "perfmon: sample %d/%d missed: %s\n", i+1, n, why)
+		if watchdog > 0 && !stallWarned && time.Since(lastGood) >= watchdog {
+			fmt.Fprintf(stderr, "perfmon: watchdog: no successful sample for %v\n",
+				time.Since(lastGood).Round(time.Millisecond))
+			stallWarned = true
+		}
+	}
 	for i := 0; i < n; i++ {
 		if i > 0 {
 			select {
@@ -142,24 +175,32 @@ func sampleLoop(ctx context.Context, cli *parcel.Client, stdout, stderr io.Write
 			fmt.Fprintf(stderr, "perfmon: run deadline reached after %d/%d samples: %v\n", i, n, err)
 			return 1
 		}
-		v, err := cli.EvaluateContext(ctx, counter, reset)
+		vals, err := set.EvaluateContext(ctx, reset)
 		if err != nil {
-			fmt.Fprintf(stderr, "perfmon: sample %d/%d missed: %v\n", i+1, n, err)
-			if watchdog > 0 && !stallWarned && time.Since(lastGood) >= watchdog {
-				fmt.Fprintf(stderr, "perfmon: watchdog: no successful sample for %v\n",
-					time.Since(lastGood).Round(time.Millisecond))
-				stallWarned = true
+			miss(i, err.Error())
+			continue
+		}
+		ok := 0
+		for _, v := range vals {
+			if !v.Valid() && v.Status != core.StatusStale {
+				fmt.Fprintf(stderr, "perfmon: sample %d/%d: %s unavailable (%s)\n",
+					i+1, n, v.Name, v.Status)
+				continue
 			}
+			ok++
+			fmt.Fprintf(stdout, "%s  %s = %g (count %d, %s)\n",
+				v.Time.Format(time.RFC3339), v.Name, v.Float64(), v.Count, v.Status)
+			if exp != nil {
+				exp.observe(v)
+			}
+		}
+		if ok == 0 {
+			miss(i, "no counter answered")
 			continue
 		}
 		good++
 		lastGood = time.Now()
 		stallWarned = false
-		fmt.Fprintf(stdout, "%s  %s = %g (count %d, %s)\n",
-			v.Time.Format(time.RFC3339), v.Name, v.Float64(), v.Count, v.Status)
-		if exp != nil {
-			exp.observe(v)
-		}
 	}
 	if good == 0 {
 		fmt.Fprintf(stderr, "perfmon: all %d samples failed\n", n)

@@ -234,6 +234,44 @@ func TestHTTPExport(t *testing.T) {
 	}
 }
 
+func TestRepeatableCounterFlag(t *testing.T) {
+	// Two -counter flags: both sampled every tick, one of them bound to
+	// nothing degrades that slot without sinking the sample.
+	reg := core.NewRegistry()
+	for i, val := range []int64{5, 8} {
+		c := core.NewRawCounter(
+			core.Name{Object: "threads", Counter: "count/cumulative"}.
+				WithInstances(core.LocalityInstance(0, "worker-thread", int64(i))...),
+			core.Info{TypeName: "/threads/count/cumulative"})
+		reg.MustRegister(c)
+		c.Add(val)
+	}
+	srv, err := parcel.Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", srv.Addr(),
+		"-counter", "/threads{locality#0/worker-thread#0}/count/cumulative",
+		"-counter", "/threads{locality#0/worker-thread#1}/count/cumulative",
+		"-counter", "/nosuch{locality#0/total}/counter",
+		"-n", "3", "-interval", "5ms", "-timeout", "500ms",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if strings.Count(out, "= 5") != 3 || strings.Count(out, "= 8") != 3 {
+		t.Fatalf("expected 3 samples of both counters:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "/nosuch{locality#0/total}/counter unavailable") {
+		t.Fatalf("dead slot not reported:\n%s", stderr.String())
+	}
+}
+
 func TestSampleLoopAllFailedExitsNonZero(t *testing.T) {
 	// A server that accepts but never answers: with -stale=false every
 	// sample times out, and only then is the run itself a failure.

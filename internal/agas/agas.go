@@ -68,6 +68,17 @@ type CounterProvider interface {
 	Evaluate(fullName string, reset bool) (core.Value, error)
 }
 
+// BulkProvider is the optional capability of sampling many counters in
+// one exchange — *parcel.Client implements it via the evaluate_bulk
+// wire op. EvaluateAcross groups names by locality and uses it when
+// available, turning K counters per remote into one round trip per
+// sample instead of K.
+type BulkProvider interface {
+	// EvaluateBulk reads the named counters together, results in input
+	// order, optionally resetting each as part of the same read.
+	EvaluateBulk(fullNames []string, reset bool) ([]core.Value, error)
+}
+
 // Health is the observed condition of one remote endpoint, updated on
 // every routed counter query. Stale answers (core.StatusStale) count as
 // failures: the transport delivered a cached value, not the endpoint.
@@ -254,13 +265,59 @@ func (r *Resolver) EvaluateCounter(fullName string, reset bool) (core.Value, err
 // name whose locality is down or unknown yields a gap — a Value whose
 // Status says why (stale, unknown, invalid) — so aggregation degrades
 // to partial results instead of erroring because one locality died.
+//
+// Names owned by a bulk-capable remote (BulkProvider) are grouped and
+// sampled in one exchange per locality; everything else takes the
+// per-name path. Results keep input order either way.
 func (r *Resolver) EvaluateAcross(fullNames []string, reset bool) []core.Value {
 	out := make([]core.Value, len(fullNames))
+
+	// Group names by bulk-capable remote locality; indices not routable
+	// that way fall through to the per-name path below.
+	type group struct {
+		bp    BulkProvider
+		names []string
+		idxs  []int
+	}
+	groups := make(map[int64]*group)
+	var rest []int
 	for i, name := range fullNames {
-		v, err := r.EvaluateCounter(name, reset)
+		id, bp, ok := r.bulkRouteFor(name)
+		if !ok {
+			rest = append(rest, i)
+			continue
+		}
+		g := groups[id]
+		if g == nil {
+			g = &group{bp: bp}
+			groups[id] = g
+		}
+		g.names = append(g.names, name)
+		g.idxs = append(g.idxs, i)
+	}
+
+	for id, g := range groups {
+		vals, err := g.bp.EvaluateBulk(g.names, reset)
+		if err != nil || len(vals) != len(g.names) {
+			// The whole exchange failed (or answered malformed): fall
+			// back to per-name queries, which record health themselves.
+			rest = append(rest, g.idxs...)
+			continue
+		}
+		for j, v := range vals {
+			if v.Name == "" {
+				v.Name = g.names[j]
+			}
+			out[g.idxs[j]] = v
+			r.recordHealth(id, valueErr(v), v.Status == core.StatusStale)
+		}
+	}
+
+	for _, i := range rest {
+		v, err := r.EvaluateCounter(fullNames[i], reset)
 		if err != nil {
 			if v.Name == "" {
-				v.Name = name
+				v.Name = fullNames[i]
 			}
 			if v.Valid() {
 				v.Status = core.StatusInvalidData
@@ -269,4 +326,37 @@ func (r *Resolver) EvaluateAcross(fullNames []string, reset bool) []core.Value {
 		out[i] = v
 	}
 	return out
+}
+
+// bulkRouteFor resolves a full name to its owning locality's
+// BulkProvider, if it has one.
+func (r *Resolver) bulkRouteFor(fullName string) (int64, BulkProvider, bool) {
+	n, err := core.ParseName(fullName)
+	if err != nil {
+		return 0, nil, false
+	}
+	id, err := LocalityOf(n)
+	if err != nil {
+		return 0, nil, false
+	}
+	r.mu.RLock()
+	remote := r.remotes[id]
+	r.mu.RUnlock()
+	bp, ok := remote.(BulkProvider)
+	return id, bp, ok
+}
+
+// valueErr maps a gap Value from a bulk result onto the error shape the
+// per-name health accounting expects: unknown/invalid slots count as
+// failures with a descriptive LastError, valid and stale ones do not
+// (stale is handled by the caller's stale flag).
+func valueErr(v core.Value) error {
+	switch v.Status {
+	case core.StatusCounterUnknown:
+		return fmt.Errorf("agas: counter %q unknown on its locality", v.Name)
+	case core.StatusInvalidData:
+		return fmt.Errorf("agas: counter %q answered invalid data", v.Name)
+	default:
+		return nil
+	}
 }

@@ -1,0 +1,162 @@
+package agas
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// bulkProvider is a CounterProvider+BulkProvider double that records how
+// it was called, so tests can assert one exchange per locality.
+type bulkProvider struct {
+	flakyProvider
+	bulkCalls  int
+	lastNames  []string
+	bulkErr    error
+	shortReply bool
+}
+
+func (b *bulkProvider) EvaluateBulk(names []string, reset bool) ([]core.Value, error) {
+	b.bulkCalls++
+	b.lastNames = append([]string(nil), names...)
+	if b.bulkErr != nil {
+		return nil, b.bulkErr
+	}
+	vals := make([]core.Value, len(names))
+	for i, n := range names {
+		v, _ := b.flakyProvider.Evaluate(n, reset)
+		vals[i] = v
+	}
+	if b.shortReply {
+		vals = vals[:len(vals)-1]
+	}
+	return vals, nil
+}
+
+func TestEvaluateAcrossBulkGrouping(t *testing.T) {
+	r := NewResolver()
+	l0 := NewLocality(0, "local")
+	if err := r.Bind(l0); err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewRawCounter(
+		core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "total", -1)...),
+		core.Info{TypeName: "/threads/count/cumulative"})
+	l0.Registry().MustRegister(c)
+	c.Add(5)
+
+	bp := &bulkProvider{flakyProvider: flakyProvider{v: core.Value{Raw: 9, Status: core.StatusValid}}}
+	if err := r.BindRemote(2, bp); err != nil {
+		t.Fatal(err)
+	}
+	plain := &flakyProvider{v: core.Value{Raw: 3, Status: core.StatusValid}}
+	if err := r.BindRemote(4, plain); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleaved on purpose: three names for the bulk remote must
+	// collapse into ONE EvaluateBulk call while keeping input order.
+	names := []string{
+		"/threads{locality#2/worker-thread#0}/count/cumulative",
+		"/threads{locality#0/total}/count/cumulative",
+		"/threads{locality#2/worker-thread#1}/count/cumulative",
+		"/threads{locality#4/total}/count/cumulative",
+		"/threads{locality#2/worker-thread#2}/count/cumulative",
+	}
+	vals := r.EvaluateAcross(names, false)
+	if bp.bulkCalls != 1 {
+		t.Fatalf("bulk remote called %d times, want 1", bp.bulkCalls)
+	}
+	if len(bp.lastNames) != 3 {
+		t.Fatalf("bulk call carried %d names, want 3: %v", len(bp.lastNames), bp.lastNames)
+	}
+	for i, v := range vals {
+		if v.Name != names[i] {
+			t.Fatalf("result %d is %q, want %q (order lost)", i, v.Name, names[i])
+		}
+	}
+	for _, i := range []int{0, 2, 4} {
+		if vals[i].Raw != 9 || !vals[i].Valid() {
+			t.Fatalf("bulk slot %d = %+v", i, vals[i])
+		}
+	}
+	if vals[1].Raw != 5 || vals[3].Raw != 3 {
+		t.Fatalf("non-bulk slots = %+v / %+v", vals[1], vals[3])
+	}
+	h, _ := r.Health(2)
+	if !h.Healthy() || h.Successes != 3 {
+		t.Fatalf("bulk health = %+v, want 3 successes", h)
+	}
+}
+
+func TestEvaluateAcrossBulkFallback(t *testing.T) {
+	r := NewResolver()
+	bp := &bulkProvider{
+		flakyProvider: flakyProvider{v: core.Value{Raw: 7, Status: core.StatusValid}},
+		bulkErr:       errors.New("bulk: wire down"),
+	}
+	if err := r.BindRemote(1, bp); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		"/threads{locality#1/worker-thread#0}/count/cumulative",
+		"/threads{locality#1/worker-thread#1}/count/cumulative",
+	}
+
+	// Bulk exchange fails → per-name path still answers.
+	vals := r.EvaluateAcross(names, false)
+	if bp.bulkCalls != 1 {
+		t.Fatalf("bulk attempted %d times, want 1", bp.bulkCalls)
+	}
+	for i, v := range vals {
+		if v.Raw != 7 || !v.Valid() {
+			t.Fatalf("fallback slot %d = %+v", i, v)
+		}
+	}
+
+	// A malformed (short) reply is treated the same as a failure.
+	bp.bulkErr = nil
+	bp.shortReply = true
+	vals = r.EvaluateAcross(names, false)
+	for i, v := range vals {
+		if v.Raw != 7 || !v.Valid() {
+			t.Fatalf("short-reply fallback slot %d = %+v", i, v)
+		}
+	}
+}
+
+func TestEvaluateAcrossBulkGapsAndHealth(t *testing.T) {
+	r := NewResolver()
+	bp := &bulkProvider{flakyProvider: flakyProvider{v: core.Value{Raw: 1, Status: core.StatusValid}}}
+	if err := r.BindRemote(6, bp); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"/threads{locality#6/total}/count/cumulative"}
+
+	// Stale values flow through but count against health, exactly like
+	// the per-name path.
+	bp.stale = true
+	vals := r.EvaluateAcross(names, false)
+	if vals[0].Status != core.StatusStale || vals[0].Raw != 1 {
+		t.Fatalf("stale slot = %+v", vals[0])
+	}
+	h, _ := r.Health(6)
+	if h.Healthy() || h.Failures != 1 {
+		t.Fatalf("health after stale bulk = %+v", h)
+	}
+
+	// Unknown-counter gaps inside an otherwise-successful bulk reply are
+	// per-name failures, not set-wide ones.
+	bp.stale = false
+	bp.v = core.Value{Status: core.StatusCounterUnknown}
+	vals = r.EvaluateAcross(names, false)
+	if vals[0].Valid() || vals[0].Name != names[0] {
+		t.Fatalf("unknown slot = %+v", vals[0])
+	}
+	h, _ = r.Health(6)
+	if h.Failures != 2 {
+		t.Fatalf("health after unknown gap = %+v", h)
+	}
+}

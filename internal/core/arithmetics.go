@@ -30,6 +30,7 @@ func registerArithmetics(r *Registry) {
 // paper uses such derived counters for ratios (e.g. overhead per task).
 type ArithmeticCounter struct {
 	name     Name
+	nameStr  string
 	info     Info
 	op       string
 	operands []Counter
@@ -49,7 +50,7 @@ func newArithmeticCounter(n Name, op string, r *Registry) (*ArithmeticCounter, e
 		operands = append(operands, c)
 	}
 	return &ArithmeticCounter{
-		name: n,
+		name: n, nameStr: n.String(),
 		info: Info{TypeName: n.TypeName(), HelpText: op + " of " + strings.Join(names, ", ")},
 		op:   op, operands: operands,
 	}, nil
@@ -88,51 +89,56 @@ func (c *ArithmeticCounter) Name() Name { return c.name }
 func (c *ArithmeticCounter) Info() Info { return c.info }
 
 // Value implements Counter. Raw carries the result in fixed-point with
-// scaling statScale. reset propagates to every operand.
+// scaling statScale. reset propagates to every operand. The combination
+// is folded as the operands are read, so evaluation allocates nothing.
 func (c *ArithmeticCounter) Value(reset bool) Value {
-	vals := make([]float64, len(c.operands))
 	status := StatusValid
+	var res float64
+	if c.op == "multiply" {
+		res = 1
+	}
+	divByZero := false
 	for i, op := range c.operands {
-		v := op.Value(reset)
-		if !v.Valid() {
+		ov := op.Value(reset)
+		if !ov.Valid() {
 			status = StatusInvalidData
 		}
-		vals[i] = v.Float64()
-	}
-	var res float64
-	switch c.op {
-	case "add":
-		for _, v := range vals {
+		v := ov.Float64()
+		switch c.op {
+		case "add", "mean":
 			res += v
-		}
-	case "subtract":
-		res = vals[0]
-		for _, v := range vals[1:] {
-			res -= v
-		}
-	case "multiply":
-		res = 1
-		for _, v := range vals {
-			res *= v
-		}
-	case "divide":
-		res = vals[0]
-		for _, v := range vals[1:] {
-			if v == 0 {
-				status = StatusInvalidData
-				res = 0
-				break
+		case "subtract":
+			if i == 0 {
+				res = v
+			} else {
+				res -= v
 			}
-			res /= v
+		case "multiply":
+			res *= v
+		case "divide":
+			switch {
+			case i == 0:
+				res = v
+			case divByZero:
+				// already zeroed; keep evaluating (and resetting)
+				// the remaining operands without dividing
+			case v == 0:
+				status = StatusInvalidData
+				divByZero = true
+				res = 0
+			default:
+				res /= v
+			}
 		}
-	case "mean":
-		res = mean(vals)
+	}
+	if c.op == "mean" && len(c.operands) > 0 {
+		res /= float64(len(c.operands))
 	}
 	return Value{
-		Name:    c.name.String(),
+		Name:    c.nameStr,
 		Raw:     int64(math.Round(res * statScale)),
 		Scaling: statScale,
-		Count:   int64(len(vals)),
+		Count:   int64(len(c.operands)),
 		Time:    now(),
 		Status:  status,
 	}

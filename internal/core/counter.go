@@ -40,14 +40,17 @@ var now = time.Now
 // RawCounter is a thread-safe integer counter. The zero value is unusable;
 // use NewRawCounter.
 type RawCounter struct {
-	name  Name
-	info  Info
-	value atomic.Int64
+	name Name
+	// nameStr caches name.String() so Value is allocation-free: the
+	// canonical name is rendered once at construction, not per sample.
+	nameStr string
+	info    Info
+	value   atomic.Int64
 }
 
 // NewRawCounter creates a raw counter with the given full name and info.
 func NewRawCounter(name Name, info Info) *RawCounter {
-	return &RawCounter{name: name, info: info}
+	return &RawCounter{name: name, nameStr: name.String(), info: info}
 }
 
 // Add increments the counter by delta (may be negative).
@@ -76,7 +79,7 @@ func (c *RawCounter) Value(reset bool) Value {
 	} else {
 		raw = c.value.Load()
 	}
-	return Value{Name: c.name.String(), Raw: raw, Time: now(), Status: StatusValid}
+	return Value{Name: c.nameStr, Raw: raw, Time: now(), Status: StatusValid}
 }
 
 // Reset implements Counter.
@@ -90,6 +93,7 @@ func (c *RawCounter) Reset() { c.value.Store(0) }
 // evaluate-and-reset idiom.
 type FuncCounter struct {
 	name    Name
+	nameStr string
 	info    Info
 	scaling int64
 	sample  func() int64
@@ -100,7 +104,7 @@ type FuncCounter struct {
 // the underlying quantity cannot be reset (Reset is then a no-op).
 // scaling, if > 1, is attached to every produced Value.
 func NewFuncCounter(name Name, info Info, scaling int64, sample func() int64, reset func()) *FuncCounter {
-	return &FuncCounter{name: name, info: info, scaling: scaling, sample: sample, reset: reset}
+	return &FuncCounter{name: name, nameStr: name.String(), info: info, scaling: scaling, sample: sample, reset: reset}
 }
 
 // Name implements Counter.
@@ -115,7 +119,7 @@ func (c *FuncCounter) Value(reset bool) Value {
 	if reset && c.reset != nil {
 		c.reset()
 	}
-	return Value{Name: c.name.String(), Raw: raw, Scaling: c.scaling, Time: now(), Status: StatusValid}
+	return Value{Name: c.nameStr, Raw: raw, Scaling: c.scaling, Time: now(), Status: StatusValid}
 }
 
 // Reset implements Counter.
@@ -133,8 +137,9 @@ func (c *FuncCounter) Reset() {
 // consumer reads the mean. Value(reset=true) atomically snapshots and
 // clears the accumulation.
 type AverageCounter struct {
-	name Name
-	info Info
+	name    Name
+	nameStr string
+	info    Info
 
 	mu    sync.Mutex
 	sum   int64
@@ -143,7 +148,7 @@ type AverageCounter struct {
 
 // NewAverageCounter creates an averaging counter.
 func NewAverageCounter(name Name, info Info) *AverageCounter {
-	return &AverageCounter{name: name, info: info}
+	return &AverageCounter{name: name, nameStr: name.String(), info: info}
 }
 
 // Record accumulates one sample.
@@ -182,7 +187,7 @@ func (c *AverageCounter) Value(reset bool) Value {
 	if scaling == 0 {
 		scaling = 1
 	}
-	return Value{Name: c.name.String(), Raw: sum, Scaling: scaling, Count: count, Time: now(), Status: StatusValid}
+	return Value{Name: c.nameStr, Raw: sum, Scaling: scaling, Count: count, Time: now(), Status: StatusValid}
 }
 
 // Reset implements Counter.
@@ -198,15 +203,16 @@ func (c *AverageCounter) Reset() {
 // ElapsedTimeCounter reports nanoseconds since creation or since the last
 // reset — HPX's /runtime/uptime.
 type ElapsedTimeCounter struct {
-	name  Name
-	info  Info
-	mu    sync.Mutex
-	start time.Time
+	name    Name
+	nameStr string
+	info    Info
+	mu      sync.Mutex
+	start   time.Time
 }
 
 // NewElapsedTimeCounter creates an elapsed-time counter starting now.
 func NewElapsedTimeCounter(name Name, info Info) *ElapsedTimeCounter {
-	return &ElapsedTimeCounter{name: name, info: info, start: now()}
+	return &ElapsedTimeCounter{name: name, nameStr: name.String(), info: info, start: now()}
 }
 
 // Name implements Counter.
@@ -224,7 +230,7 @@ func (c *ElapsedTimeCounter) Value(reset bool) Value {
 		c.start = t
 	}
 	c.mu.Unlock()
-	return Value{Name: c.name.String(), Raw: elapsed, Time: t, Status: StatusValid}
+	return Value{Name: c.nameStr, Raw: elapsed, Time: t, Status: StatusValid}
 }
 
 // Reset implements Counter.

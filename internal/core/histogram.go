@@ -78,6 +78,16 @@ func (h *Histogram) Reset() {
 	h.sum.Store(0)
 }
 
+// Totals returns the observation count and value sum without copying
+// the bucket table — the allocation-free read used by Counter.Value on
+// sampling hot paths (quantiles still need a full Snapshot).
+func (h *Histogram) Totals() (n, sum int64) {
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n, h.sum.Load()
+}
+
 // Snapshot copies the current distribution.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Counts: make([]int64, HistogramBuckets)}
@@ -168,14 +178,15 @@ type Quantiler interface {
 // Count, like AverageCounter), and Quantile serves the percentile meta
 // counters. Producers call Record per event.
 type HistogramCounter struct {
-	name Name
-	info Info
-	h    Histogram
+	name    Name
+	nameStr string
+	info    Info
+	h       Histogram
 }
 
 // NewHistogramCounter creates an empty histogram counter.
 func NewHistogramCounter(name Name, info Info) *HistogramCounter {
-	return &HistogramCounter{name: name, info: info}
+	return &HistogramCounter{name: name, nameStr: name.String(), info: info}
 }
 
 // Record folds one observation into the distribution.
@@ -188,18 +199,19 @@ func (c *HistogramCounter) Name() Name { return c.name }
 func (c *HistogramCounter) Info() Info { return c.info }
 
 // Value implements Counter: the mean of the recorded values, with the
-// observation count in Scaling and Count.
+// observation count in Scaling and Count. Reads totals without copying
+// the bucket table, so evaluation is allocation-free.
 func (c *HistogramCounter) Value(reset bool) Value {
-	s := c.h.Snapshot()
+	n, sum := c.h.Totals()
 	if reset {
 		c.h.Reset()
 	}
-	scaling := s.N
+	scaling := n
 	if scaling == 0 {
 		scaling = 1
 	}
-	return Value{Name: c.name.String(), Raw: s.Sum, Scaling: scaling,
-		Count: s.N, Time: now(), Status: StatusValid}
+	return Value{Name: c.nameStr, Raw: sum, Scaling: scaling,
+		Count: n, Time: now(), Status: StatusValid}
 }
 
 // Reset implements Counter.

@@ -22,13 +22,45 @@ type typeEntry struct {
 	discover Discoverer
 }
 
-// Registry holds the counter types and live counter instances of one
-// locality. It is safe for concurrent use.
-type Registry struct {
+// instanceShards is the number of instance-map shards. Counter lookups
+// hash the full name onto a shard so concurrent samplers, Register and
+// Remove contend per shard instead of on one registry-wide mutex. Must
+// be a power of two.
+const instanceShards = 16
+
+// instShard is one slice of the instance map with its own lock.
+type instShard struct {
 	mu        sync.RWMutex
-	types     map[string]*typeEntry
 	instances map[string]Counter
-	active    map[string]Counter
+}
+
+// activeSnapshot is the immutable, name-sorted view of the active set.
+// Mutators build a fresh snapshot under activeMu and publish it with one
+// atomic store; EvaluateActive/ResetActive/Active read it without taking
+// any lock, so samplers never contend with each other or with Register.
+type activeSnapshot struct {
+	names    []string
+	counters []Counter
+}
+
+var emptyActive = &activeSnapshot{}
+
+// Registry holds the counter types and live counter instances of one
+// locality. It is safe for concurrent use. Instances are sharded by
+// name hash; the active set is published as an immutable sorted
+// snapshot so the sampling read path is lock-free.
+type Registry struct {
+	typesMu sync.RWMutex
+	types   map[string]*typeEntry
+
+	shards [instanceShards]instShard
+
+	// activeMu serialises active-set mutation; activeSet is the mutable
+	// membership map and active the published read-only snapshot.
+	activeMu  sync.Mutex
+	activeSet map[string]Counter
+	active    atomic.Pointer[activeSnapshot]
+
 	// evalErrors counts counter evaluations that panicked and were
 	// converted to StatusInvalidData, exposed as the
 	// /counters{locality#0/total}/count/errors self-counter.
@@ -41,9 +73,12 @@ type Registry struct {
 func NewRegistry() *Registry {
 	r := &Registry{
 		types:     make(map[string]*typeEntry),
-		instances: make(map[string]Counter),
-		active:    make(map[string]Counter),
+		activeSet: make(map[string]Counter),
 	}
+	for i := range r.shards {
+		r.shards[i].instances = make(map[string]Counter)
+	}
+	r.active.Store(emptyActive)
 	registerStatistics(r)
 	registerArithmetics(r)
 	errName := Name{Object: "counters", Counter: "count/errors"}.
@@ -54,6 +89,26 @@ func NewRegistry() *Registry {
 	r.MustRegister(NewFuncCounter(errName, errInfo, 0,
 		r.evalErrors.Load, func() { r.evalErrors.Store(0) }))
 	return r
+}
+
+// shardFor hashes a full counter name onto its instance shard (FNV-1a).
+func (r *Registry) shardFor(key string) *instShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &r.shards[h&(instanceShards-1)]
+}
+
+// lookup finds a registered instance by its exact canonical full name
+// without parsing it — the hot-path entry for already-known counters.
+func (r *Registry) lookup(key string) (Counter, bool) {
+	s := r.shardFor(key)
+	s.mu.RLock()
+	c, ok := s.instances[key]
+	s.mu.RUnlock()
+	return c, ok
 }
 
 // EvalErrors returns the number of counter evaluations that panicked
@@ -108,8 +163,8 @@ func (r *Registry) RegisterType(info Info, factory Factory, discover Discoverer)
 	if n.IsFull() {
 		return fmt.Errorf("core: type name %q must not carry an instance", info.TypeName)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.typesMu.Lock()
+	defer r.typesMu.Unlock()
 	key := n.TypeName()
 	if _, dup := r.types[key]; dup {
 		return fmt.Errorf("core: counter type %q already registered", key)
@@ -135,13 +190,16 @@ func (r *Registry) Register(c Counter) error {
 		return fmt.Errorf("core: instance name %q must carry an instance part", name)
 	}
 	key := name.String()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.instances[key]; dup {
+	s := r.shardFor(key)
+	s.mu.Lock()
+	if _, dup := s.instances[key]; dup {
+		s.mu.Unlock()
 		return fmt.Errorf("core: counter instance %q already registered", key)
 	}
-	r.instances[key] = c
+	s.instances[key] = c
+	s.mu.Unlock()
 	tn := name.TypeName()
+	r.typesMu.Lock()
 	if _, ok := r.types[tn]; !ok {
 		info := c.Info()
 		if info.TypeName == "" {
@@ -149,6 +207,7 @@ func (r *Registry) Register(c Counter) error {
 		}
 		r.types[tn] = &typeEntry{info: info}
 	}
+	r.typesMu.Unlock()
 	return nil
 }
 
@@ -160,21 +219,33 @@ func (r *Registry) MustRegister(c Counter) {
 }
 
 // Remove deletes a counter instance (and drops it from the active set).
+// Handles bound to the instance keep reading it; Bind again to observe
+// the removal.
 func (r *Registry) Remove(fullName string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok := r.active[fullName]; ok {
+	r.activeMu.Lock()
+	if c, ok := r.activeSet[fullName]; ok {
+		delete(r.activeSet, fullName)
+		r.publishActiveLocked()
+		r.activeMu.Unlock()
 		if s, ok := c.(Startable); ok {
 			s.Stop()
 		}
-		delete(r.active, fullName)
+	} else {
+		r.activeMu.Unlock()
 	}
-	delete(r.instances, fullName)
+	s := r.shardFor(fullName)
+	s.mu.Lock()
+	delete(s.instances, fullName)
+	s.mu.Unlock()
 }
 
 // Get returns the counter instance for a full name, creating it through
-// the registered type factory if it does not exist yet.
+// the registered type factory if it does not exist yet. An exact
+// canonical spelling of a registered instance resolves without parsing.
 func (r *Registry) Get(fullName string) (Counter, error) {
+	if c, ok := r.lookup(fullName); ok {
+		return c, nil
+	}
 	n, err := ParseName(fullName)
 	if err != nil {
 		return nil, err
@@ -184,13 +255,12 @@ func (r *Registry) Get(fullName string) (Counter, error) {
 
 func (r *Registry) get(n Name) (Counter, error) {
 	key := n.String()
-	r.mu.RLock()
-	c, ok := r.instances[key]
-	entry := r.types[n.TypeName()]
-	r.mu.RUnlock()
-	if ok {
+	if c, ok := r.lookup(key); ok {
 		return c, nil
 	}
+	r.typesMu.RLock()
+	entry := r.types[n.TypeName()]
+	r.typesMu.RUnlock()
 	// Parameterized names identify concrete counters even without an
 	// instance part (the arithmetics family: /arithmetics/add@c1,c2).
 	if !n.IsFull() && n.Parameters == "" {
@@ -203,26 +273,33 @@ func (r *Registry) get(n Name) (Counter, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	if existing, ok := r.instances[key]; ok {
+	s := r.shardFor(key)
+	s.mu.Lock()
+	if existing, ok := s.instances[key]; ok {
 		// Lost a creation race: two goroutines resolved the same name
 		// concurrently and both ran the factory. First registration
 		// wins — every caller must see the same instance, or resets
 		// and stateful counters would split across twins. The loser is
 		// closed (if it holds resources) and discarded.
-		r.mu.Unlock()
+		s.mu.Unlock()
 		closeCounter(c)
 		return existing, nil
 	}
-	r.instances[key] = c
-	r.mu.Unlock()
+	s.instances[key] = c
+	s.mu.Unlock()
 	return c, nil
 }
 
 // Evaluate reads one counter by full name. A panicking Counter.Value is
 // isolated: the result carries StatusInvalidData and the registry's
-// /counters/count/errors self-counter is incremented.
+// /counters/count/errors self-counter is incremented. Exact canonical
+// names of registered instances take a fast path that skips name
+// parsing entirely; callers on a sampling loop should prefer Bind and
+// Handle.Evaluate, which skip the map lookup as well.
 func (r *Registry) Evaluate(fullName string, reset bool) (Value, error) {
+	if c, ok := r.lookup(fullName); ok {
+		return r.safeValue(c, reset), nil
+	}
 	c, err := r.Get(fullName)
 	if err != nil {
 		return Value{Name: fullName, Status: StatusCounterUnknown}, err
@@ -233,12 +310,12 @@ func (r *Registry) Evaluate(fullName string, reset bool) (Value, error) {
 // Types returns the metadata of all registered counter types, sorted by
 // type name, as shown by --list-counters.
 func (r *Registry) Types() []Info {
-	r.mu.RLock()
+	r.typesMu.RLock()
 	infos := make([]Info, 0, len(r.types))
 	for _, e := range r.types {
 		infos = append(infos, e.info)
 	}
-	r.mu.RUnlock()
+	r.typesMu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].TypeName < infos[j].TypeName })
 	return infos
 }
@@ -254,13 +331,18 @@ func (r *Registry) Discover(pattern string) ([]Name, error) {
 	}
 	seen := make(map[string]Name)
 
-	r.mu.RLock()
-	for key, c := range r.instances {
-		if MatchPattern(pn, c.Name()) {
-			seen[key] = c.Name()
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for key, c := range s.instances {
+			if MatchPattern(pn, c.Name()) {
+				seen[key] = c.Name()
+			}
 		}
+		s.mu.RUnlock()
 	}
 	var discoverers []Discoverer
+	r.typesMu.RLock()
 	for tn, e := range r.types {
 		if e.discover == nil {
 			continue
@@ -277,7 +359,7 @@ func (r *Registry) Discover(pattern string) ([]Name, error) {
 		}
 		discoverers = append(discoverers, e.discover)
 	}
-	r.mu.RUnlock()
+	r.typesMu.RUnlock()
 
 	for _, d := range discoverers {
 		for _, n := range d(r) {
@@ -302,6 +384,27 @@ func (r *Registry) Discover(pattern string) ([]Name, error) {
 // ---------------------------------------------------------------------------
 // Active set: the HPX evaluate_active_counters / reset_active_counters API.
 
+// publishActiveLocked rebuilds the sorted immutable snapshot from the
+// membership map. Caller holds activeMu.
+func (r *Registry) publishActiveLocked() {
+	if len(r.activeSet) == 0 {
+		r.active.Store(emptyActive)
+		return
+	}
+	snap := &activeSnapshot{
+		names:    make([]string, 0, len(r.activeSet)),
+		counters: make([]Counter, 0, len(r.activeSet)),
+	}
+	for k := range r.activeSet {
+		snap.names = append(snap.names, k)
+	}
+	sort.Strings(snap.names)
+	for _, k := range snap.names {
+		snap.counters = append(snap.counters, r.activeSet[k])
+	}
+	r.active.Store(snap)
+}
+
 // AddActive resolves the (possibly wildcarded) name and adds all matching
 // counters to the active set, starting any Startable ones. It returns the
 // full names added.
@@ -320,35 +423,49 @@ func (r *Registry) AddActive(pattern string) ([]string, error) {
 		}
 	}
 	added := make([]string, 0, len(names))
+	var started []Startable
+	publish := func() {
+		r.activeMu.Lock()
+		r.publishActiveLocked()
+		r.activeMu.Unlock()
+		for _, s := range started {
+			s.Start()
+		}
+	}
 	for _, n := range names {
 		c, err := r.get(n)
 		if err != nil {
+			publish()
 			return added, err
 		}
 		key := n.String()
-		r.mu.Lock()
-		_, already := r.active[key]
+		r.activeMu.Lock()
+		_, already := r.activeSet[key]
 		if !already {
-			r.active[key] = c
+			r.activeSet[key] = c
 		}
-		r.mu.Unlock()
+		r.activeMu.Unlock()
 		if !already {
 			if s, ok := c.(Startable); ok {
-				s.Start()
+				started = append(started, s)
 			}
 			added = append(added, key)
 		}
 	}
+	publish()
 	return added, nil
 }
 
 // RemoveActive removes a counter from the active set, stopping it if
 // Startable.
 func (r *Registry) RemoveActive(fullName string) {
-	r.mu.Lock()
-	c, ok := r.active[fullName]
-	delete(r.active, fullName)
-	r.mu.Unlock()
+	r.activeMu.Lock()
+	c, ok := r.activeSet[fullName]
+	if ok {
+		delete(r.activeSet, fullName)
+		r.publishActiveLocked()
+	}
+	r.activeMu.Unlock()
 	if ok {
 		if s, ok := c.(Startable); ok {
 			s.Stop()
@@ -360,58 +477,60 @@ func (r *Registry) RemoveActive(fullName string) {
 // resetting each as part of the same read. Results are ordered by name.
 // A counter whose Value panics does not abort the sweep: its entry
 // carries StatusInvalidData and the remaining counters are evaluated
-// normally.
+// normally. The read is lock-free against the registry: it walks the
+// published snapshot, so concurrent Register/Remove/AddActive never
+// block a sampler.
 func (r *Registry) EvaluateActive(reset bool) []Value {
-	r.mu.RLock()
-	counters := make([]Counter, 0, len(r.active))
-	for _, c := range r.active {
-		counters = append(counters, c)
-	}
-	r.mu.RUnlock()
-	sort.Slice(counters, func(i, j int) bool {
-		return counters[i].Name().String() < counters[j].Name().String()
-	})
-	values := make([]Value, len(counters))
-	for i, c := range counters {
+	snap := r.active.Load()
+	values := make([]Value, len(snap.counters))
+	for i, c := range snap.counters {
 		values[i] = r.safeValue(c, reset)
 	}
 	return values
 }
 
+// EvaluateActiveInto is EvaluateActive writing into a caller-provided
+// buffer, reused across samples: dst is grown only when the active set
+// outgrows its capacity, so a steady-state sampling loop allocates
+// nothing. Returns the filled slice (dst's backing array when it was
+// large enough).
+func (r *Registry) EvaluateActiveInto(dst []Value, reset bool) []Value {
+	snap := r.active.Load()
+	if cap(dst) < len(snap.counters) {
+		dst = make([]Value, len(snap.counters))
+	} else {
+		dst = dst[:len(snap.counters)]
+	}
+	for i, c := range snap.counters {
+		dst[i] = r.safeValue(c, reset)
+	}
+	return dst
+}
+
 // ResetActive resets every counter in the active set without reading it.
 func (r *Registry) ResetActive() {
-	r.mu.RLock()
-	counters := make([]Counter, 0, len(r.active))
-	for _, c := range r.active {
-		counters = append(counters, c)
-	}
-	r.mu.RUnlock()
-	for _, c := range counters {
+	snap := r.active.Load()
+	for _, c := range snap.counters {
 		r.safeReset(c)
 	}
 }
 
 // Active returns the full names in the active set, sorted.
 func (r *Registry) Active() []string {
-	r.mu.RLock()
-	names := make([]string, 0, len(r.active))
-	for k := range r.active {
-		names = append(names, k)
-	}
-	r.mu.RUnlock()
-	sort.Strings(names)
-	return names
+	snap := r.active.Load()
+	return append([]string(nil), snap.names...)
 }
 
 // StopActive stops all Startable counters in the active set and clears it.
 func (r *Registry) StopActive() {
-	r.mu.Lock()
-	counters := make([]Counter, 0, len(r.active))
-	for _, c := range r.active {
+	r.activeMu.Lock()
+	counters := make([]Counter, 0, len(r.activeSet))
+	for _, c := range r.activeSet {
 		counters = append(counters, c)
 	}
-	r.active = make(map[string]Counter)
-	r.mu.Unlock()
+	r.activeSet = make(map[string]Counter)
+	r.publishActiveLocked()
+	r.activeMu.Unlock()
 	for _, c := range counters {
 		if s, ok := c.(Startable); ok {
 			s.Stop()

@@ -56,6 +56,7 @@ func registerStatistics(r *Registry) {
 // directly, which the tests and the simulator (virtual time) use.
 type StatisticsCounter struct {
 	name     Name
+	nameStr  string
 	info     Info
 	kind     string
 	base     Counter
@@ -123,6 +124,7 @@ func newStatisticsCounter(n Name, kind string, r *Registry) (*StatisticsCounter,
 	}
 	c := &StatisticsCounter{
 		name:     n,
+		nameStr:  n.String(),
 		info:     Info{TypeName: n.TypeName(), HelpText: "statistics/" + kind + " of " + n.BaseCounter, Unit: base.Info().Unit},
 		kind:     kind,
 		base:     base,
@@ -224,7 +226,7 @@ func (c *StatisticsCounter) Value(reset bool) Value {
 		if !ok {
 			status = StatusInvalidData
 		}
-		return Value{Name: c.name.String(), Raw: v, Time: now(), Status: status}
+		return Value{Name: c.nameStr, Raw: v, Time: now(), Status: status}
 	}
 	c.mu.Lock()
 	samples := append([]float64(nil), c.samples...)
@@ -260,7 +262,7 @@ func (c *StatisticsCounter) Value(reset bool) Value {
 		}
 	}
 	return Value{
-		Name:    c.name.String(),
+		Name:    c.nameStr,
 		Raw:     int64(math.Round(stat * statScale)),
 		Scaling: statScale,
 		Count:   int64(len(samples)),

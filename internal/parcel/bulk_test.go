@@ -1,0 +1,354 @@
+package parcel
+
+// Tests of the bulk counter sampling path: bind_bulk/evaluate_bulk wire
+// ops, the one-round-trip-per-sample guarantee (asserted against the
+// client's own parcel meters), re-binding across reconnects, the
+// per-counter fallback against servers without the ops, and stale
+// partial results during a partition.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parcel/chaos"
+)
+
+// newBulkFixture starts a server over a registry with n raw counters
+// and returns their full names with a connected client.
+func newBulkFixture(t *testing.T, n int, opts ClientOptions) ([]string, []*core.RawCounter, *Server, *Client) {
+	t.Helper()
+	reg := core.NewRegistry()
+	names := make([]string, n)
+	counters := make([]*core.RawCounter, n)
+	for i := 0; i < n; i++ {
+		cn := core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "worker-thread", int64(i))...)
+		c := core.NewRawCounter(cn, core.Info{TypeName: "/threads/count/cumulative"})
+		c.Add(int64(100 + i))
+		reg.MustRegister(c)
+		names[i] = cn.String()
+		counters[i] = c
+	}
+	srv, err := Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := DialContext(context.Background(), srv.Addr(), nil, 1, opts)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return names, counters, srv, cli
+}
+
+// TestEvaluateBulkOneRoundTrip is the acceptance criterion: after the
+// one-time bind, sampling K counters costs exactly one request/response
+// exchange, measured by the client's own /parcels count/sent meter.
+func TestEvaluateBulkOneRoundTrip(t *testing.T) {
+	const k = 16
+	names, counters, _, cli := newBulkFixture(t, k, ClientOptions{})
+	set := cli.NewBulkSet(names)
+
+	// First evaluation pays the bind: two round trips.
+	before := cli.meters.sent.Load()
+	vals, err := set.Evaluate(false)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if got := cli.meters.sent.Load() - before; got != 2 {
+		t.Fatalf("first bulk sample sent %d parcels, want 2 (bind + evaluate)", got)
+	}
+	if len(vals) != k {
+		t.Fatalf("got %d values, want %d", len(vals), k)
+	}
+	for i, v := range vals {
+		if v.Name != names[i] {
+			t.Fatalf("value %d is %q, want %q (bulk results must keep bind order)", i, v.Name, names[i])
+		}
+		if v.Raw != int64(100+i) || v.Status != core.StatusValid {
+			t.Fatalf("value %d = %+v", i, v)
+		}
+	}
+
+	// Steady state: one round trip per sample, K counters each.
+	const samples = 10
+	before = cli.meters.sent.Load()
+	for s := 0; s < samples; s++ {
+		if _, err := set.Evaluate(false); err != nil {
+			t.Fatalf("sample %d: %v", s, err)
+		}
+	}
+	if got := cli.meters.sent.Load() - before; got != samples {
+		t.Fatalf("%d bulk samples sent %d parcels, want exactly %d (1 round trip per sample)",
+			samples, got, samples)
+	}
+
+	// Evaluate-and-reset applies remotely through the bulk path.
+	if _, err := set.Evaluate(true); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counters {
+		if c.Load() != 0 {
+			t.Fatalf("counter %d not reset through bulk evaluate", i)
+		}
+	}
+}
+
+// TestEvaluateBulkConvenience exercises Client.EvaluateBulk's cached
+// set: repeated calls with the same names reuse one server-side set.
+func TestEvaluateBulkConvenience(t *testing.T) {
+	names, _, _, cli := newBulkFixture(t, 4, ClientOptions{})
+	if _, err := cli.EvaluateBulk(names, false); err != nil {
+		t.Fatalf("EvaluateBulk: %v", err)
+	}
+	before := cli.meters.sent.Load()
+	for i := 0; i < 5; i++ {
+		if _, err := cli.EvaluateBulk(names, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cli.meters.sent.Load() - before; got != 5 {
+		t.Fatalf("cached bulk set sent %d parcels for 5 samples, want 5", got)
+	}
+}
+
+// TestEvaluateBulkLenientBinding: an unknown name degrades its slot to
+// StatusCounterUnknown; the rest of the set reads normally.
+func TestEvaluateBulkLenientBinding(t *testing.T) {
+	names, _, _, cli := newBulkFixture(t, 2, ClientOptions{})
+	withBad := append([]string{names[0]}, "/nosuch{locality#0/total}/count/thing", names[1])
+	vals, err := cli.NewBulkSet(withBad).Evaluate(false)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	if vals[0].Status != core.StatusValid || vals[2].Status != core.StatusValid {
+		t.Fatalf("good slots = %v / %v", vals[0].Status, vals[2].Status)
+	}
+	if vals[1].Status != core.StatusCounterUnknown {
+		t.Fatalf("bad slot status = %v, want CounterUnknown", vals[1].Status)
+	}
+}
+
+// TestEvaluateBulkRebindAfterReconnect: the server-side set dies with
+// the connection; the client must re-bind transparently and keep
+// sampling at one round trip per sample afterwards.
+func TestEvaluateBulkRebindAfterReconnect(t *testing.T) {
+	names, _, _, cli := newBulkFixture(t, 8, ClientOptions{})
+	set := cli.NewBulkSet(names)
+	if _, err := set.Evaluate(false); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	firstID := set.id
+
+	// Sever the connection behind the client's back.
+	cli.mu.Lock()
+	cli.dropConnLocked()
+	cli.mu.Unlock()
+
+	vals, err := set.Evaluate(false)
+	if err != nil {
+		t.Fatalf("post-reconnect Evaluate: %v", err)
+	}
+	if len(vals) != 8 || vals[0].Status != core.StatusValid {
+		t.Fatalf("post-reconnect values = %+v", vals)
+	}
+	if set.id == firstID && set.gen == 1 {
+		t.Fatal("set was not re-bound after reconnect")
+	}
+	// And steady state is one round trip again.
+	before := cli.meters.sent.Load()
+	if _, err := set.Evaluate(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := cli.meters.sent.Load() - before; got != 1 {
+		t.Fatalf("post-rebind sample cost %d round trips, want 1", got)
+	}
+}
+
+// TestEvaluateBulkStaleDuringPartition: a partitioned endpoint serves
+// the whole set from the last-known-value cache, values tagged
+// StatusStale, uncached names as explicit StatusCounterUnknown gaps.
+func TestEvaluateBulkStaleDuringPartition(t *testing.T) {
+	reg := core.NewRegistry()
+	var names []string
+	var counters []*core.RawCounter
+	for i := 0; i < 3; i++ {
+		cn := core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "worker-thread", int64(i))...)
+		c := core.NewRawCounter(cn, core.Info{TypeName: "/threads/count/cumulative"})
+		c.Add(int64(10 * (i + 1)))
+		reg.MustRegister(c)
+		names = append(names, cn.String())
+		counters = append(counters, c)
+	}
+	srv, err := Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	inj := chaos.New(chaos.Config{})
+	cli, err := DialContext(context.Background(), srv.Addr(), nil, 1, ClientOptions{
+		Timeout: 200 * time.Millisecond, Retries: 1,
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+		BreakerThreshold: -1, ServeStale: true, Dialer: inj.Dialer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	// Warm the cache for the first two names only; the third never binds.
+	warm := cli.NewBulkSet(names[:2])
+	if _, err := warm.Evaluate(false); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	inj.Partition(true)
+	counters[0].Add(1) // remote moves on; the cache cannot see it
+
+	full := cli.NewBulkSet(names)
+	vals, err := full.Evaluate(false)
+	if err != nil {
+		t.Fatalf("partitioned bulk evaluate returned error: %v", err)
+	}
+	if vals[0].Status != core.StatusStale || vals[0].Raw != 10 {
+		t.Fatalf("cached slot = %+v, want stale 10", vals[0])
+	}
+	if vals[1].Status != core.StatusStale || vals[1].Raw != 20 {
+		t.Fatalf("cached slot = %+v, want stale 20", vals[1])
+	}
+	if vals[2].Status != core.StatusCounterUnknown {
+		t.Fatalf("uncached slot = %+v, want CounterUnknown gap", vals[2])
+	}
+
+	inj.Partition(false)
+	healed, err := full.Evaluate(false)
+	if err != nil {
+		t.Fatalf("post-heal: %v", err)
+	}
+	if healed[0].Status != core.StatusValid || healed[0].Raw != 11 {
+		t.Fatalf("post-heal slot = %+v, want fresh 11", healed[0])
+	}
+}
+
+// legacyServer speaks the parcel protocol but predates the bulk ops:
+// bind_bulk/evaluate_bulk get the stock "unknown op" error, evaluate
+// works. It stands in for an old locality a new monitor attaches to.
+func legacyServer(t *testing.T, reg *core.Registry) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				rd := bufio.NewReader(conn)
+				for {
+					line, err := rd.ReadBytes('\n')
+					if err != nil {
+						return
+					}
+					var req request
+					var resp response
+					if err := json.Unmarshal(line, &req); err != nil {
+						resp.Error = "malformed"
+					} else if req.Op == "evaluate" {
+						v, err := reg.Evaluate(req.Name, req.Reset)
+						if err != nil {
+							resp.Error = err.Error()
+						} else {
+							resp.Value = &v
+						}
+					} else {
+						resp.Error = fmt.Sprintf("parcel: unknown op %q", req.Op)
+					}
+					out, _ := json.Marshal(resp)
+					if _, err := conn.Write(append(out, '\n')); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+// TestEvaluateBulkFallbackAgainstOldServer: against a server without
+// the bulk ops the set silently degrades to one Evaluate per counter —
+// correct results, no error, Fallback() reported.
+func TestEvaluateBulkFallbackAgainstOldServer(t *testing.T) {
+	reg := core.NewRegistry()
+	var names []string
+	for i := 0; i < 4; i++ {
+		cn := core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "worker-thread", int64(i))...)
+		c := core.NewRawCounter(cn, core.Info{TypeName: "/threads/count/cumulative"})
+		c.Add(int64(7 * (i + 1)))
+		reg.MustRegister(c)
+		names = append(names, cn.String())
+	}
+	ln := legacyServer(t, reg)
+	cli, err := Dial(ln.Addr().String(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	set := cli.NewBulkSet(names)
+	vals, err := set.Evaluate(false)
+	if err != nil {
+		t.Fatalf("Evaluate against legacy server: %v", err)
+	}
+	if !set.Fallback() {
+		t.Fatal("set did not report per-counter fallback")
+	}
+	for i, v := range vals {
+		if v.Raw != int64(7*(i+1)) || v.Status != core.StatusValid {
+			t.Fatalf("fallback value %d = %+v", i, v)
+		}
+	}
+	// Fallback sticks: the next sample goes straight to per-counter
+	// (len(names) round trips, no bulk probe).
+	before := cli.meters.sent.Load()
+	if _, err := set.Evaluate(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := cli.meters.sent.Load() - before; got != int64(len(names)) {
+		t.Fatalf("fallback sample sent %d parcels, want %d", got, len(names))
+	}
+}
+
+// TestBulkLimits: the server bounds per-connection bulk state.
+func TestBulkLimits(t *testing.T) {
+	names, _, _, cli := newBulkFixture(t, 1, ClientOptions{})
+	// Empty set refused.
+	if _, err := cli.roundTrip(request{Op: "bind_bulk"}); err == nil {
+		t.Fatal("empty bind_bulk accepted")
+	}
+	// Set count per connection bounded.
+	for i := 0; i < maxBulkSetsPerConn; i++ {
+		if _, err := cli.roundTrip(request{Op: "bind_bulk", Names: names}); err != nil {
+			t.Fatalf("bind %d: %v", i, err)
+		}
+	}
+	if _, err := cli.roundTrip(request{Op: "bind_bulk", Names: names}); err == nil {
+		t.Fatalf("bind beyond the %d-set limit accepted", maxBulkSetsPerConn)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -115,6 +116,15 @@ type Client struct {
 	rd   *bufio.Reader
 	rng  *rand.Rand
 
+	// connGen counts connection establishments. Bulk sets record the
+	// generation they were bound on; a mismatch means the server-side
+	// set died with the old connection and the client re-binds before
+	// sampling instead of burning a round trip on a known failure.
+	connGen atomic.Uint64
+
+	bulkMu   sync.Mutex
+	bulkSets map[string]*BulkSet // EvaluateBulk's cache, keyed by joined names
+
 	cacheMu sync.Mutex
 	cache   map[string]core.Value
 
@@ -161,6 +171,7 @@ func DialContext(ctx context.Context, addr string, reg *core.Registry, locality 
 	}
 	c.conn = conn
 	c.rd = bufio.NewReader(conn)
+	c.connGen.Add(1)
 	return c, nil
 }
 
@@ -274,6 +285,7 @@ func (c *Client) attempt(ctx context.Context, frame []byte) (response, error) {
 		}
 		c.conn = conn
 		c.rd = bufio.NewReader(conn)
+		c.connGen.Add(1)
 	}
 	if dl, ok := actx.Deadline(); ok {
 		c.conn.SetDeadline(dl)
@@ -480,9 +492,10 @@ func (c *Client) FaultCounts() FaultCounts {
 // interface, so meta counters and tooling can consume remote data
 // transparently — the uniformity the paper's framework is built on.
 type RemoteCounter struct {
-	client *Client
-	name   core.Name
-	info   core.Info
+	client  *Client
+	name    core.Name
+	nameStr string
+	info    core.Info
 }
 
 // NewRemoteCounter builds a counter proxy for a full remote name.
@@ -492,9 +505,10 @@ func NewRemoteCounter(client *Client, fullName string) (*RemoteCounter, error) {
 		return nil, err
 	}
 	return &RemoteCounter{
-		client: client,
-		name:   n,
-		info:   core.Info{TypeName: n.TypeName(), HelpText: "remote proxy for " + fullName},
+		client:  client,
+		name:    n,
+		nameStr: n.String(),
+		info:    core.Info{TypeName: n.TypeName(), HelpText: "remote proxy for " + fullName},
 	}, nil
 }
 
@@ -507,12 +521,12 @@ func (r *RemoteCounter) Info() core.Info { return r.info }
 // Value implements core.Counter. With ServeStale enabled on the client,
 // an unreachable endpoint yields the last reading as StatusStale.
 func (r *RemoteCounter) Value(reset bool) core.Value {
-	v, err := r.client.Evaluate(r.name.String(), reset)
+	v, err := r.client.Evaluate(r.nameStr, reset)
 	if err != nil {
-		return core.Value{Name: r.name.String(), Status: core.StatusInvalidData}
+		return core.Value{Name: r.nameStr, Status: core.StatusInvalidData}
 	}
 	return v
 }
 
 // Reset implements core.Counter.
-func (r *RemoteCounter) Reset() { _, _ = r.client.Evaluate(r.name.String(), true) }
+func (r *RemoteCounter) Reset() { _, _ = r.client.Evaluate(r.nameStr, true) }

@@ -1,0 +1,239 @@
+package parcel
+
+// Bulk counter sampling: a BulkSet ships its counter names to the server
+// once (bind_bulk) and thereafter samples all of them in a single
+// request/response round trip per call (evaluate_bulk) — K counters for
+// the wire cost of one, instead of the K round trips of per-counter
+// Evaluate. Against servers predating the bulk ops the set transparently
+// degrades to the per-counter loop, so a new monitor can watch an old
+// locality.
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// BulkSet is a fixed set of remote counters sampled together. It is the
+// remote analogue of core.BindSet: names are resolved (and shipped) once
+// at bind time, evaluation is one round trip. Safe for concurrent use.
+//
+// The server compiles the set into per-connection state, so a reconnect
+// invalidates it; the set re-binds automatically (tracked via the
+// client's connection generation, with the server's "unknown bulk set"
+// error as the backstop).
+type BulkSet struct {
+	c     *Client
+	names []string
+
+	stMu     chan struct{} // 1-token semaphore serialising bind state
+	id       int64
+	gen      uint64 // connection generation the set was bound on
+	bound    bool
+	fallback bool // server lacks the bulk ops; use per-counter Evaluate
+}
+
+// NewBulkSet prepares a bulk sampling set over the given full counter
+// names. No network traffic happens until the first Evaluate; binding is
+// lenient — a name the server cannot resolve occupies its slot with
+// StatusCounterUnknown instead of failing the set.
+func (c *Client) NewBulkSet(names []string) *BulkSet {
+	s := &BulkSet{
+		c:     c,
+		names: append([]string(nil), names...),
+		stMu:  make(chan struct{}, 1),
+	}
+	s.stMu <- struct{}{}
+	return s
+}
+
+// Names returns the counter names in the set, in result order.
+func (s *BulkSet) Names() []string { return append([]string(nil), s.names...) }
+
+// Fallback reports whether the set degraded to per-counter sampling
+// because the server does not implement the bulk ops.
+func (s *BulkSet) Fallback() bool {
+	<-s.stMu
+	f := s.fallback
+	s.stMu <- struct{}{}
+	return f
+}
+
+// lock acquires the set's bind state, honouring ctx.
+func (s *BulkSet) lock(ctx context.Context) error {
+	select {
+	case <-s.stMu:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Evaluate samples every counter in the set, optionally resetting each
+// as part of the same read: one round trip on a bulk-capable server.
+func (s *BulkSet) Evaluate(reset bool) ([]core.Value, error) {
+	return s.EvaluateContext(context.Background(), reset)
+}
+
+// EvaluateContext is Evaluate under a caller deadline. Results keep the
+// set's name order. With ServeStale enabled on the client, an
+// unreachable endpoint yields the last-known value per counter with
+// Status core.StatusStale (names never successfully read report
+// StatusCounterUnknown) and a nil error as long as at least one counter
+// could be served — the partial-results contract of docs/FAULTS.md.
+func (s *BulkSet) EvaluateContext(ctx context.Context, reset bool) ([]core.Value, error) {
+	if err := s.lock(ctx); err != nil {
+		return nil, err
+	}
+	defer func() { s.stMu <- struct{}{} }()
+	if s.fallback {
+		return s.evaluatePerCounter(ctx, reset)
+	}
+	// Re-bind on first use and after any reconnect (the server-side set
+	// lives in per-connection state). The generation check avoids a
+	// round trip that is known to fail; the unknown-set error below
+	// catches the race where the connection dies between check and send.
+	for attempt := 0; attempt < 2; attempt++ {
+		if !s.bound || s.gen != s.c.connGen.Load() {
+			if err := s.bindLocked(ctx); err != nil {
+				if s.fallback {
+					return s.evaluatePerCounter(ctx, reset)
+				}
+				return s.maybeStale(err)
+			}
+		}
+		resp, err := s.c.roundTripContext(ctx, request{Op: "evaluate_bulk", SetID: s.id, Reset: reset})
+		switch {
+		case err == nil:
+			for _, v := range resp.Values {
+				if v.Status == core.StatusValid || v.Status == core.StatusNewData {
+					s.c.cacheStore(v.Name, v)
+				}
+			}
+			return resp.Values, nil
+		case isUnknownBulkSet(err):
+			// The server lost the set (reconnect landed between our
+			// generation check and the exchange); bind again and retry.
+			s.bound = false
+		case isUnknownOp(err):
+			s.fallback = true
+			return s.evaluatePerCounter(ctx, reset)
+		default:
+			return s.maybeStale(err)
+		}
+	}
+	return s.maybeStale(&ServerError{Msg: errUnknownBulkSet})
+}
+
+// bindLocked ships the name set to the server. Caller holds the state
+// semaphore. An old server answering "unknown op" flips the set into
+// per-counter fallback.
+func (s *BulkSet) bindLocked(ctx context.Context) error {
+	// Capture the generation before the exchange: if the bind itself
+	// rides a fresh connection, the response belongs to that connection
+	// and the generation observed after success is the right one to pin.
+	resp, err := s.c.roundTripContext(ctx, request{Op: "bind_bulk", Names: s.names})
+	if err != nil {
+		if isUnknownOp(err) {
+			s.fallback = true
+		}
+		return err
+	}
+	s.id = resp.SetID
+	s.gen = s.c.connGen.Load()
+	s.bound = true
+	return nil
+}
+
+// evaluatePerCounter is the compatibility path against servers without
+// the bulk ops: one round trip per counter, same result shape. The
+// client's own stale/retry machinery applies per counter.
+func (s *BulkSet) evaluatePerCounter(ctx context.Context, reset bool) ([]core.Value, error) {
+	values := make([]core.Value, len(s.names))
+	var lastErr error
+	ok := 0
+	for i, name := range s.names {
+		v, err := s.c.EvaluateContext(ctx, name, reset)
+		values[i] = v
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return values, ctx.Err()
+			}
+			continue
+		}
+		ok++
+	}
+	if ok == 0 && lastErr != nil {
+		return values, lastErr
+	}
+	return values, nil
+}
+
+// maybeStale serves the whole set from the client's last-known-value
+// cache after a transport failure, mirroring EvaluateContext's stale
+// semantics across a batch: cached names come back as StatusStale with
+// their original capture time, uncached names as StatusCounterUnknown.
+// The error is swallowed only if stale serving is on, the failure is a
+// transport one, and at least one counter could be served.
+func (s *BulkSet) maybeStale(err error) ([]core.Value, error) {
+	if !s.c.opts.ServeStale || !staleOK(err) {
+		return nil, err
+	}
+	values := make([]core.Value, len(s.names))
+	served := 0
+	for i, name := range s.names {
+		if v, ok := s.c.cacheLoad(name); ok {
+			v.Status = core.StatusStale
+			values[i] = v
+			served++
+		} else {
+			values[i] = core.Value{Name: name, Status: core.StatusCounterUnknown}
+		}
+	}
+	if served == 0 {
+		return nil, err
+	}
+	return values, nil
+}
+
+// EvaluateBulk samples the named counters in one round trip (after a
+// one-time bind per connection), caching the compiled set for repeated
+// calls with the same name list — the convenience entry point used by
+// agas.EvaluateAcross. For a long-lived sampling loop, hold a NewBulkSet
+// directly.
+func (c *Client) EvaluateBulk(names []string, reset bool) ([]core.Value, error) {
+	return c.EvaluateBulkContext(context.Background(), names, reset)
+}
+
+// EvaluateBulkContext is EvaluateBulk under a caller deadline.
+func (c *Client) EvaluateBulkContext(ctx context.Context, names []string, reset bool) ([]core.Value, error) {
+	key := strings.Join(names, "\x00")
+	c.bulkMu.Lock()
+	if c.bulkSets == nil {
+		c.bulkSets = make(map[string]*BulkSet)
+	}
+	s, ok := c.bulkSets[key]
+	if !ok {
+		s = c.NewBulkSet(names)
+		c.bulkSets[key] = s
+	}
+	c.bulkMu.Unlock()
+	return s.EvaluateContext(ctx, reset)
+}
+
+// isUnknownOp matches the server error produced for an op the server
+// does not implement — how the client detects a pre-bulk peer.
+func isUnknownOp(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && strings.Contains(se.Msg, "unknown op")
+}
+
+// isUnknownBulkSet matches the server error for a bulk set id the
+// connection no longer holds.
+func isUnknownBulkSet(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && strings.Contains(se.Msg, errUnknownBulkSet)
+}

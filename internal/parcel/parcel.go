@@ -36,12 +36,14 @@ import (
 
 // request is one parcel from client to server.
 type request struct {
-	Op      string          `json:"op"` // "evaluate", "evaluate_active", "discover", "types", "reset_active", "add_active", "invoke"
+	Op      string          `json:"op"` // "evaluate", "evaluate_active", "discover", "types", "reset_active", "add_active", "invoke", "bind_bulk", "evaluate_bulk"
 	Name    string          `json:"name,omitempty"`
 	Pattern string          `json:"pattern,omitempty"`
 	Reset   bool            `json:"reset,omitempty"`
 	Action  string          `json:"action,omitempty"`
 	Arg     json.RawMessage `json:"arg,omitempty"`
+	Names   []string        `json:"names,omitempty"`  // bind_bulk: counter names to compile
+	SetID   int64           `json:"set_id,omitempty"` // evaluate_bulk: bulk set to sample
 }
 
 // idempotent reports whether the request can be safely re-sent after a
@@ -51,9 +53,11 @@ type request struct {
 // action invocation are never retried.
 func (r request) idempotent() bool {
 	switch r.Op {
-	case "evaluate", "evaluate_active":
+	case "evaluate", "evaluate_active", "evaluate_bulk":
 		return !r.Reset
-	case "discover", "types":
+	case "discover", "types", "bind_bulk":
+		// bind_bulk only compiles a name set into per-connection state;
+		// re-binding after a lost response is harmless.
 		return true
 	default: // add_active, reset_active, invoke, unknown ops
 		return false
@@ -68,6 +72,7 @@ type response struct {
 	Names  []string        `json:"names,omitempty"`
 	Infos  []core.Info     `json:"infos,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	SetID  int64           `json:"set_id,omitempty"` // bind_bulk: id of the compiled set
 }
 
 // ProtocolError is a typed wire-protocol violation: oversized or
@@ -283,12 +288,34 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// Bounds on per-connection bulk-set state, so a misbehaving client
+// cannot grow server memory without limit.
+const (
+	maxBulkSetsPerConn = 64
+	maxBulkNames       = 4096
+)
+
+// errUnknownBulkSet prefixes the server error for an evaluate_bulk
+// against a set id the connection does not hold (typically after a
+// reconnect); clients match on it to re-bind transparently.
+const errUnknownBulkSet = "parcel: unknown bulk set"
+
+// connState is the per-connection server state: compiled bulk sets and
+// a reused evaluation buffer. It lives and dies with one handler
+// goroutine, so no locking is needed.
+type connState struct {
+	bulkSets  map[int64]*core.BindSet
+	nextSetID int64
+	bulkBuf   []core.Value
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.untrack(conn)
 	defer conn.Close()
 	rd := bufio.NewReader(conn)
 	wr := bufio.NewWriter(conn)
+	st := &connState{}
 	for {
 		if s.opts.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
@@ -305,7 +332,7 @@ func (s *Server) handle(conn net.Conn) {
 				perr := &ProtocolError{Reason: "malformed request: " + jerr.Error()}
 				resp.Error = perr.Error()
 			} else {
-				resp = s.dispatch(req)
+				resp = s.dispatch(req, st)
 			}
 		case errors.Is(err, ErrParcelTooLarge):
 			// The oversized line was drained; report and keep serving.
@@ -375,8 +402,35 @@ func drainLine(rd *bufio.Reader) error {
 	}
 }
 
-func (s *Server) dispatch(req request) response {
+func (s *Server) dispatch(req request, st *connState) response {
 	switch req.Op {
+	case "bind_bulk":
+		// Compile the named counters once for this connection; later
+		// evaluate_bulk requests sample the whole set in one exchange.
+		// Binding is lenient: an unresolvable name degrades its slot to
+		// StatusCounterUnknown instead of failing the set.
+		if len(req.Names) == 0 {
+			return response{Error: "parcel: bind_bulk needs at least one name"}
+		}
+		if len(req.Names) > maxBulkNames {
+			return response{Error: fmt.Sprintf("parcel: bind_bulk limited to %d names", maxBulkNames)}
+		}
+		if st.bulkSets == nil {
+			st.bulkSets = make(map[int64]*core.BindSet)
+		}
+		if len(st.bulkSets) >= maxBulkSetsPerConn {
+			return response{Error: fmt.Sprintf("parcel: at most %d bulk sets per connection", maxBulkSetsPerConn)}
+		}
+		st.nextSetID++
+		st.bulkSets[st.nextSetID] = s.reg.BindSetLenient(req.Names)
+		return response{SetID: st.nextSetID, Names: st.bulkSets[st.nextSetID].Names()}
+	case "evaluate_bulk":
+		set, ok := st.bulkSets[req.SetID]
+		if !ok {
+			return response{Error: fmt.Sprintf("%s %d", errUnknownBulkSet, req.SetID)}
+		}
+		st.bulkBuf = set.EvaluateBatch(st.bulkBuf, req.Reset)
+		return response{Values: st.bulkBuf}
 	case "evaluate":
 		v, err := s.reg.Evaluate(req.Name, req.Reset)
 		if err != nil {

@@ -81,6 +81,7 @@ type Session struct {
 	header sync.Once
 
 	mu   sync.Mutex
+	buf  []core.Value // reused per sample; a sampling tick allocates nothing
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -132,7 +133,10 @@ func (o *Options) Start(reg *core.Registry) (*Session, error) {
 		}
 	}
 	if o.Interval > 0 {
-		s.stop = make(chan struct{})
+		// The goroutine must watch the channel made here, not re-read
+		// s.stop (Close nils the field before closing the channel).
+		stop := make(chan struct{})
+		s.stop = stop
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -140,7 +144,7 @@ func (o *Options) Start(reg *core.Registry) (*Session, error) {
 			defer t.Stop()
 			for {
 				select {
-				case <-s.stop:
+				case <-stop:
 					return
 				case <-t.C:
 					s.Sample()
@@ -153,9 +157,10 @@ func (o *Options) Start(reg *core.Registry) (*Session, error) {
 
 // Sample evaluates the active set once and appends the CSV rows.
 func (s *Session) Sample() {
-	values := s.reg.EvaluateActive(s.reset)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.buf = s.reg.EvaluateActiveInto(s.buf[:0], s.reset)
+	values := s.buf
 	s.header.Do(func() {
 		fmt.Fprintln(s.out, "counter,timestamp,value,count,status")
 	})

@@ -498,14 +498,16 @@ func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
 // ratioCounter reports numerator/denominator with the denominator carried
 // as the Value scaling, like the HPX average counters.
 type ratioCounter struct {
-	name  core.Name
-	info  core.Info
-	read  func() (num, den int64)
-	reset func()
+	name core.Name
+	// nameStr caches name.String() so Value allocates nothing per read.
+	nameStr string
+	info    core.Info
+	read    func() (num, den int64)
+	reset   func()
 }
 
 func newRatioCounter(name core.Name, info core.Info, read func() (int64, int64), reset func()) *ratioCounter {
-	return &ratioCounter{name: name, info: info, read: read, reset: reset}
+	return &ratioCounter{name: name, nameStr: name.String(), info: info, read: read, reset: reset}
 }
 
 func (c *ratioCounter) Name() core.Name { return c.name }
@@ -520,7 +522,7 @@ func (c *ratioCounter) Value(reset bool) core.Value {
 	if scaling == 0 {
 		scaling = 1
 	}
-	return core.Value{Name: c.name.String(), Raw: num, Scaling: scaling, Count: den,
+	return core.Value{Name: c.nameStr, Raw: num, Scaling: scaling, Count: den,
 		Time: time.Now(), Status: core.StatusValid}
 }
 

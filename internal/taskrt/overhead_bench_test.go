@@ -100,6 +100,11 @@ func measureGrain(workers, nTasks int, grain time.Duration, sampled, watchdog, t
 				panic(err)
 			}
 		}
+		// Sample through a compiled BindSet into a reused buffer — the
+		// intended steady-state monitoring loop: no name parsing, no
+		// sorting, no allocation per tick.
+		set := reg.BindActive()
+		buf := make([]core.Value, 0, set.Len())
 		go func() {
 			defer close(samplerDone)
 			tick := time.NewTicker(time.Millisecond)
@@ -109,7 +114,7 @@ func measureGrain(workers, nTasks int, grain time.Duration, sampled, watchdog, t
 				case <-stop:
 					return
 				case <-tick.C:
-					reg.EvaluateActive(false)
+					buf = set.EvaluateBatch(buf, false)
 				}
 			}
 		}()
@@ -321,6 +326,58 @@ func TestCounterOverheadWithinPaperBudget(t *testing.T) {
 			t.Errorf("grain %v: counter sampling overhead %.1f%% exceeds budget",
 				g, p.CounterOverheadPct)
 		}
+	}
+}
+
+// TestBenchGate is the CI perf budget (scripts/bench.sh and the CI
+// bench smoke run it with TASKRT_BENCH_GATE=1): it live-measures the
+// 1 µs grain counter-sampling overhead and the spawn+get round trip,
+// failing when the former exceeds 8 % or the latter regresses more
+// than 2× over the committed BENCH_taskrt.json "current" baseline.
+// Both budgets leave headroom over the quiet-machine numbers (≤5 %
+// and 1×) so shared-runner noise does not flake the gate while real
+// regressions — a lock back on the sampling path, an allocation per
+// sample — blow straight through it.
+func TestBenchGate(t *testing.T) {
+	if os.Getenv("TASKRT_BENCH_GATE") == "" {
+		t.Skip("set TASKRT_BENCH_GATE=1 to enforce the perf budgets")
+	}
+	if raceEnabled {
+		t.Skip("timing measurement; the race detector skews the ratio")
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	p := measureGrainPoint(workers, 1*time.Microsecond, 3)
+	t.Logf("1µs grain: counter sampling overhead %.2f%% (budget 8%%)", p.CounterOverheadPct)
+	if p.CounterOverheadPct > 8 {
+		t.Errorf("counter sampling overhead at 1µs grain is %.2f%%, budget is 8%%",
+			p.CounterOverheadPct)
+	}
+
+	baselinePath := os.Getenv("TASKRT_BENCH_BASELINE")
+	if baselinePath == "" {
+		baselinePath = "../../BENCH_taskrt.json"
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("read baseline %s: %v", baselinePath, err)
+	}
+	var doc struct {
+		Current struct {
+			SpawnGetNs float64 `json:"spawn_get_ns"`
+		} `json:"current"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+	if doc.Current.SpawnGetNs <= 0 {
+		t.Fatalf("baseline %s has no current.spawn_get_ns", baselinePath)
+	}
+	spawn := measureSpawnGetNs()
+	t.Logf("spawn+get: %.1f ns (baseline %.1f ns, budget 2×)", spawn, doc.Current.SpawnGetNs)
+	if spawn > 2*doc.Current.SpawnGetNs {
+		t.Errorf("spawn+get %.1f ns regressed more than 2× over the committed %.1f ns",
+			spawn, doc.Current.SpawnGetNs)
 	}
 }
 

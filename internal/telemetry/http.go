@@ -4,14 +4,20 @@ package telemetry
 // the Prometheus text exposition format (version 0.0.4); GET /series
 // serves the full ring of every series as JSON for ad-hoc dashboards.
 // Only the Go standard library is used.
+//
+// The exposition path is built not to tax the application it observes:
+// counter-name → metric/label conversion is memoized (names are stable
+// for the life of the process), and each render reuses a pooled output
+// buffer plus append-based number formatting, so a steady-state scrape
+// allocates nothing beyond what net/http itself needs.
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -36,13 +42,58 @@ func Handler(s *Sampler) http.Handler {
 	return mux
 }
 
-// promMetric is one exportable sample: a sanitized metric name, its
-// label set, and the value.
+// promMetric is the conversion of one counter name: a sanitized metric
+// name and its rendered label set. Values are not part of it — the
+// conversion is cached per counter name, the value changes per scrape.
 type promMetric struct {
 	name   string
 	labels string
-	value  float64
 }
+
+// promCache memoizes counter-name → promMetric conversions. Counter
+// names never change meaning once registered, so entries are permanent.
+var promCache sync.Map // string -> *promMetric
+
+func cachedPromMetric(counter string) *promMetric {
+	if v, ok := promCache.Load(counter); ok {
+		return v.(*promMetric)
+	}
+	m := toPromMetric(counter)
+	promCache.Store(counter, m)
+	return m
+}
+
+// promSample is one row of a render: the cached conversion, the series'
+// first-observation index (sort tie-break) and the sampled value.
+type promSample struct {
+	m   *promMetric
+	idx int
+	val float64
+}
+
+// promSamples sorts by metric name, then first-observation order within
+// a metric. Methods are on the pointer so sort.Sort takes the pooled
+// slice without an interface-conversion allocation.
+type promSamples []promSample
+
+func (p *promSamples) Len() int      { return len(*p) }
+func (p *promSamples) Swap(i, j int) { (*p)[i], (*p)[j] = (*p)[j], (*p)[i] }
+func (p *promSamples) Less(i, j int) bool {
+	if (*p)[i].m.name != (*p)[j].m.name {
+		return (*p)[i].m.name < (*p)[j].m.name
+	}
+	return (*p)[i].idx < (*p)[j].idx
+}
+
+// renderState is the reusable scratch of one exposition render, pooled
+// so concurrent scrapes don't contend and repeated scrapes don't
+// reallocate.
+type renderState struct {
+	out     []byte
+	samples promSamples
+}
+
+var renderPool = sync.Pool{New: func() any { return new(renderState) }}
 
 // WritePrometheus renders the latest point of every series in the
 // Prometheus text format. HPX-style counter names map onto metric
@@ -56,33 +107,45 @@ type promMetric struct {
 // Counter names that do not parse are exported whole under
 // taskrt_counter{name="..."} rather than dropped.
 func WritePrometheus(w interface{ Write([]byte) (int, error) }, s *Sampler) {
-	byMetric := map[string][]promMetric{}
-	var order []string
-	for _, series := range s.Latest() {
-		m := toPromMetric(series.Name, series.Points[0].Value)
-		if _, seen := byMetric[m.name]; !seen {
-			order = append(order, m.name)
+	st := renderPool.Get().(*renderState)
+	st.out = st.out[:0]
+	st.samples = st.samples[:0]
+
+	s.forEachLatest(func(name string, p Point) {
+		st.samples = append(st.samples, promSample{
+			m: cachedPromMetric(name), idx: len(st.samples), val: p.Value,
+		})
+	})
+	sort.Sort(&st.samples)
+
+	prev := ""
+	for _, sm := range st.samples {
+		if sm.m.name != prev {
+			st.out = append(st.out, "# HELP "...)
+			st.out = append(st.out, sm.m.name...)
+			st.out = append(st.out, " performance counter "...)
+			st.out = append(st.out, sm.m.name...)
+			st.out = append(st.out, "\n# TYPE "...)
+			st.out = append(st.out, sm.m.name...)
+			st.out = append(st.out, " gauge\n"...)
+			prev = sm.m.name
 		}
-		byMetric[m.name] = append(byMetric[m.name], m)
+		st.out = append(st.out, sm.m.name...)
+		st.out = append(st.out, sm.m.labels...)
+		st.out = append(st.out, ' ')
+		st.out = strconv.AppendFloat(st.out, sm.val, 'g', -1, 64)
+		st.out = append(st.out, '\n')
 	}
-	sort.Strings(order)
-	for _, name := range order {
-		fmt.Fprintf(w, "# HELP %s performance counter %s\n", name, name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
-		for _, m := range byMetric[name] {
-			fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels,
-				strconv.FormatFloat(m.value, 'g', -1, 64))
-		}
-	}
+	_, _ = w.Write(st.out)
+	renderPool.Put(st)
 }
 
-func toPromMetric(counter string, value float64) promMetric {
+func toPromMetric(counter string) *promMetric {
 	n, err := core.ParseName(counter)
 	if err != nil {
-		return promMetric{
+		return &promMetric{
 			name:   "taskrt_counter",
 			labels: `{name="` + escapeLabel(counter) + `"}`,
-			value:  value,
 		}
 	}
 	name := sanitizeMetricName("taskrt" + n.TypeName())
@@ -104,7 +167,7 @@ func toPromMetric(counter string, value float64) promMetric {
 	if len(labels) > 0 {
 		ls = "{" + strings.Join(labels, ",") + "}"
 	}
-	return promMetric{name: name, labels: ls, value: value}
+	return &promMetric{name: name, labels: ls}
 }
 
 // sanitizeMetricName maps a counter type path onto the Prometheus

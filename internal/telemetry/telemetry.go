@@ -48,6 +48,18 @@ func (r *ring) push(p Point) {
 	}
 }
 
+// last returns the newest point without copying the ring.
+func (r *ring) last() (Point, bool) {
+	if r.next == 0 && !r.full {
+		return Point{}, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i = len(r.buf) - 1
+	}
+	return r.buf[i], true
+}
+
 func (r *ring) points() []Point {
 	if !r.full {
 		return append([]Point(nil), r.buf[:r.next]...)
@@ -128,13 +140,26 @@ func (s *Sampler) Latest() []Series {
 	defer s.mu.Unlock()
 	out := make([]Series, 0, len(s.order))
 	for _, name := range s.order {
-		pts := s.series[name].points()
-		if len(pts) == 0 {
+		p, ok := s.series[name].last()
+		if !ok {
 			continue
 		}
-		out = append(out, Series{Name: name, Points: pts[len(pts)-1:]})
+		out = append(out, Series{Name: name, Points: []Point{p}})
 	}
 	return out
+}
+
+// forEachLatest visits the newest point of every series in
+// first-observation order without copying rings or building Series —
+// the allocation-free walk behind the Prometheus renderer.
+func (s *Sampler) forEachLatest(fn func(name string, p Point)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.order {
+		if p, ok := s.series[name].last(); ok {
+			fn(name, p)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -147,9 +172,15 @@ type Source func() []core.Value
 
 // RegistrySource samples a registry's active counter set. With reset,
 // every sample evaluates-and-resets (per-interval deltas, the paper's
-// per-sample measurement style).
+// per-sample measurement style). The closure reuses one value buffer
+// across ticks, so steady-state sampling does not allocate; the
+// returned slice is only valid until the next call.
 func RegistrySource(reg *core.Registry, reset bool) Source {
-	return func() []core.Value { return reg.EvaluateActive(reset) }
+	var buf []core.Value
+	return func() []core.Value {
+		buf = reg.EvaluateActiveInto(buf[:0], reset)
+		return buf
+	}
 }
 
 // Collector drives a Source into a Sampler at a fixed interval.

@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
 # Regenerates the "current" section of BENCH_taskrt.json (spawn/join
 # round trip, goroutine-id cost, and the counter-overhead-vs-grain table
-# from the paper's Section VI) and prints the classic microbenchmarks.
-# The "seed" section is the committed pre-optimization baseline and is
-# preserved. Run on a quiet machine; every number here is a timing.
+# from the paper's Section VI), the "parcel_bulk" section (K remote
+# counters per sample: one evaluate_bulk round trip versus the K-round-
+# trip per-counter loop), and then enforces the perf budgets against the
+# fresh numbers. The "seed" section is the committed pre-optimization
+# baseline and is preserved. Run on a quiet machine; every number here
+# is a timing.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,10 +14,22 @@ cd "$(dirname "$0")/.."
 echo "== microbenchmarks =="
 go test -run=XXX -bench='SpawnGet|GoroutineID|CurrentWorkerLookup' \
     -benchtime=200ms ./internal/taskrt/
+go test -run=XXX -bench='EvaluateBulk|EvaluatePerCounter' \
+    -benchtime=50x ./internal/parcel/
+go test -run=XXX -bench='HandleEvaluate|EvaluateBatch|EvaluateActive' \
+    -benchtime=200ms ./internal/core/
 
 echo "== regenerating BENCH_taskrt.json =="
 TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
     go test -count=1 -run TestWriteBenchJSON -v ./internal/taskrt/
+TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
+    go test -count=1 -run TestWriteBulkBenchJSON -v ./internal/parcel/
+
+echo "== perf budget gate =="
+# Fails when the 1us-grain counter overhead exceeds 8% or the spawn+get
+# round trip regresses >2x over the committed baseline.
+TASKRT_BENCH_GATE=1 TASKRT_BENCH_BASELINE="$(pwd)/BENCH_taskrt.json" \
+    go test -count=1 -run TestBenchGate -v ./internal/taskrt/
 
 echo "== done =="
 git --no-pager diff --stat BENCH_taskrt.json || true
