@@ -20,10 +20,12 @@
 //	perfmon -addr 127.0.0.1:7110 -discover '/threads{locality#0/worker-thread#*}/time/average'
 //	perfmon -addr 127.0.0.1:7110 -counter '/threads{locality#0/total}/idle-rate' -interval 1s -n 10
 //	perfmon -addr 127.0.0.1:7110 -counter <a> -counter <b> -counter <c> -interval 1s -n 60
+//	perfmon -addr 127.0.0.1:7110 -spawn compute -arg '{"n":32}' -deadline 5s
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +69,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		watchdog = fs.Duration("watchdog", 0, "warn when no sample has succeeded for this long (0 = off)")
 		httpAddr = fs.String("http", "", "serve the sampled series over HTTP at this address (/metrics Prometheus text, /series JSON)")
 		csvPath  = fs.String("csv", "", "append samples as CSV to this file (header row + one line per sample)")
+		spawn    = fs.String("spawn", "", "run this remote action through the fault-tolerant spawn plane and print its JSON result")
+		arg      = fs.String("arg", "", "JSON argument for -spawn")
 	)
 	fs.Var(&counters, "counter", "remote counter to read (repeatable; all sampled in one exchange)")
 	if err := fs.Parse(argv); err != nil {
@@ -130,6 +134,34 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			defer exp.close()
 		}
 		return sampleLoop(ctx, cli, stdout, stderr, exp, counters, *reset, *n, *interval, *watchdog)
+	case *spawn != "":
+		// The spawn plane, not bare invoke: the key-deduped retry path
+		// means a dropped response cannot double-run the action, -deadline
+		// ships as the remote execution budget, and Ctrl-C style context
+		// ends cancel the remote task best-effort.
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		var raw json.RawMessage
+		if *arg != "" {
+			if !json.Valid([]byte(*arg)) {
+				fmt.Fprintf(stderr, "perfmon: -arg is not valid JSON: %s\n", *arg)
+				return 2
+			}
+			raw = json.RawMessage(*arg)
+		}
+		res, err := cli.SpawnJSON(ctx, *spawn, raw)
+		if err != nil {
+			fmt.Fprintln(stderr, "perfmon:", err)
+			return 1
+		}
+		if len(res) == 0 {
+			res = json.RawMessage("null")
+		}
+		fmt.Fprintf(stdout, "%s\n", res)
 	default:
 		fs.Usage()
 		return 2

@@ -338,3 +338,43 @@ func TestSingleMissedSampleStillSucceeds(t *testing.T) {
 		t.Fatalf("clean run: code %d\n%s\n%s", code, stdout.String(), stderr.String())
 	}
 }
+
+func TestSpawnMode(t *testing.T) {
+	srv := startServer(t, "127.0.0.1:0", 0)
+	defer srv.Close()
+	actions := parcel.NewActionMap()
+	if err := parcel.RegisterAction(actions, "double", func(n int) (int, error) {
+		return 2 * n, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.WithActions(actions)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", srv.Addr(),
+		"-spawn", "double", "-arg", "21",
+		"-deadline", "5s", "-timeout", "1s",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr:\n%s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "42" {
+		t.Fatalf("spawn result = %q, want 42", got)
+	}
+
+	// Failures are diagnosed, not swallowed: unknown action and
+	// malformed -arg both exit non-zero with a reason.
+	stderr.Reset()
+	if code := run([]string{"-addr", srv.Addr(), "-spawn", "nope"},
+		&stdout, &stderr); code == 0 {
+		t.Fatal("unknown action exited 0")
+	} else if !strings.Contains(stderr.String(), "unknown action") {
+		t.Fatalf("unknown-action diagnostic missing:\n%s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-addr", srv.Addr(), "-spawn", "double", "-arg", "{not json"},
+		&stdout, &stderr); code != 2 {
+		t.Fatalf("malformed -arg exit code = %d, want 2", code)
+	}
+}

@@ -11,12 +11,19 @@
 package agas
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 )
+
+// ErrUnknownLocality is the typed failure for a resolution against an
+// id that is not (or no longer) bound — what an Unbind racing an
+// in-flight EvaluateAcross or SpawnRemote surfaces.
+var ErrUnknownLocality = errors.New("agas: unknown locality")
 
 // Locality is one participant: an id, a human-readable name and a
 // counter registry.
@@ -105,6 +112,15 @@ type Resolver struct {
 	localities map[int64]*Locality
 	remotes    map[int64]CounterProvider
 	health     map[int64]*Health
+	// actions maps an action name to the locality ids registering it —
+	// the placement table SpawnRemote routes and fails over with
+	// (spawn.go).
+	actions map[string][]int64
+
+	// The remote-spawn plane's self-observation (spawn.go).
+	spawnMeters atomic.Pointer[remoteMeters]
+	spawnSeq    atomic.Int64
+	spawnEpoch  int64
 }
 
 // NewResolver creates an empty resolver.
@@ -113,6 +129,8 @@ func NewResolver() *Resolver {
 		localities: make(map[int64]*Locality),
 		remotes:    make(map[int64]CounterProvider),
 		health:     make(map[int64]*Health),
+		actions:    make(map[string][]int64),
+		spawnEpoch: time.Now().UnixNano(),
 	}
 }
 
@@ -182,11 +200,29 @@ func (r *Resolver) Bind(l *Locality) error {
 	return nil
 }
 
-// Unbind removes a locality.
+// Unbind removes a locality — local or remote — together with any
+// action placements it registered. Queries and spawns already in flight
+// against it complete or fail with typed errors (ErrUnknownLocality,
+// ErrNoReplica); new ones no longer route there.
 func (r *Resolver) Unbind(id int64) {
 	r.mu.Lock()
 	l := r.localities[id]
 	delete(r.localities, id)
+	delete(r.remotes, id)
+	delete(r.health, id)
+	for action, hosts := range r.actions {
+		kept := hosts[:0]
+		for _, h := range hosts {
+			if h != id {
+				kept = append(kept, h)
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.actions, action)
+		} else {
+			r.actions[action] = kept
+		}
+	}
 	r.mu.Unlock()
 	if l != nil {
 		l.unbinds.Inc()
@@ -199,7 +235,7 @@ func (r *Resolver) Resolve(id int64) (*Locality, error) {
 	l := r.localities[id]
 	r.mu.RUnlock()
 	if l == nil {
-		return nil, fmt.Errorf("agas: unknown locality#%d", id)
+		return nil, fmt.Errorf("%w #%d", ErrUnknownLocality, id)
 	}
 	l.resolves.Inc()
 	return l, nil

@@ -53,6 +53,19 @@ func NewRawCounter(name Name, info Info) *RawCounter {
 	return &RawCounter{name: name, nameStr: name.String(), info: info}
 }
 
+// NewLocalityRaw builds a raw counter under the conventional
+// /object{locality#loc/total}/counter instance name — the shape every
+// self-observation plane (parcels, agas, the remote-spawn plane) uses
+// for its per-locality event counters.
+func NewLocalityRaw(object, counter string, loc int64, help, unit string) *RawCounter {
+	cn := Name{Object: object, Counter: counter}.
+		WithInstances(LocalityInstance(loc, "total", -1)...)
+	return NewRawCounter(cn, Info{
+		TypeName: "/" + object + "/" + counter, HelpText: help,
+		Unit: unit, Version: "1.0",
+	})
+}
+
 // Add increments the counter by delta (may be negative).
 func (c *RawCounter) Add(delta int64) { c.value.Add(delta) }
 

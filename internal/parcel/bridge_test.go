@@ -1,15 +1,19 @@
-package parcel
+package parcel_test
 
 // Integration of the AGAS resolver with remote localities: the same
 // EvaluateCounter call transparently routes to an in-process registry
 // or across TCP, purely from the locality#N prefix of the counter name
 // — the paper's location-transparent counter access, end to end.
+//
+// External test package: agas imports parcel (the spawn router), so
+// in-package tests here must not import agas back.
 
 import (
 	"testing"
 
 	"repro/internal/agas"
 	"repro/internal/core"
+	"repro/internal/parcel"
 )
 
 func TestResolverRoutesAcrossProcessesByName(t *testing.T) {
@@ -30,12 +34,12 @@ func TestResolverRoutesAcrossProcessesByName(t *testing.T) {
 		core.Info{TypeName: "/threads/count/cumulative"})
 	remoteReg.MustRegister(c1)
 	c1.Add(22)
-	srv, err := Serve("127.0.0.1:0", remoteReg, 1)
+	srv, err := parcel.Serve("127.0.0.1:0", remoteReg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cli, err := Dial(srv.Addr(), nil, 0)
+	cli, err := parcel.Dial(srv.Addr(), nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,21 @@ func (e *ServerError) Error() string { return e.Msg }
 // ErrClientClosed is returned by calls on a closed client.
 var ErrClientClosed = errors.New("parcel: client closed")
 
+// DialError marks a transport failure where no request reached the
+// endpoint at all — the (re-)dial itself failed. The distinction
+// matters to the spawn plane: a spawn that failed with a DialError (or
+// ErrCircuitOpen) definitely did not execute and may be redirected to a
+// replica, while any other transport failure is ambiguous and must be
+// retried on the same endpoint under the same idempotency key.
+type DialError struct{ Err error }
+
+// Error implements error, passing the underlying dial failure through
+// unchanged.
+func (e *DialError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *DialError) Unwrap() error { return e.Err }
+
 // ClientOptions tunes the client's fault tolerance. The zero value
 // selects the defaults noted on each field.
 type ClientOptions struct {
@@ -125,6 +140,13 @@ type Client struct {
 	bulkMu   sync.Mutex
 	bulkSets map[string]*BulkSet // EvaluateBulk's cache, keyed by joined names
 
+	// The spawn plane (spawn.go): the manager multiplexing in-flight
+	// spawn polls, and the idempotency-key source.
+	spawnMu    sync.Mutex
+	spawns     *spawnMgr
+	spawnEpoch int64
+	spawnSeq   atomic.Int64
+
 	cacheMu sync.Mutex
 	cache   map[string]core.Value
 
@@ -156,12 +178,13 @@ func DialContext(ctx context.Context, addr string, reg *core.Registry, locality 
 		}
 	}
 	c := &Client{
-		addr:    addr,
-		opts:    opts,
-		meters:  m,
-		breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, gauge),
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		cache:   make(map[string]core.Value),
+		addr:       addr,
+		opts:       opts,
+		meters:     m,
+		breaker:    newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, gauge),
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		cache:      make(map[string]core.Value),
+		spawnEpoch: time.Now().UnixNano(),
 	}
 	dctx, cancel := c.attemptContext(ctx)
 	defer cancel()
@@ -281,7 +304,9 @@ func (c *Client) attempt(ctx context.Context, frame []byte) (response, error) {
 		}
 		conn, err := c.opts.Dialer(actx, c.addr)
 		if err != nil {
-			return response{}, mapDeadline(ctx, err)
+			// Typed: nothing was sent, so the request definitely did not
+			// execute — the spawn plane's licence to fail over.
+			return response{}, &DialError{Err: mapDeadline(ctx, err)}
 		}
 		c.conn = conn
 		c.rd = bufio.NewReader(conn)

@@ -1,0 +1,86 @@
+package parcel
+
+// FuzzParcelDecode drives the server's whole per-request decode path —
+// processLine, exactly what a connection handler feeds it — with
+// arbitrary bytes. The contract under fuzzing: a malformed parcel
+// yields a ProtocolError-coded response, a well-formed one yields a
+// normal response, and NOTHING panics or wedges the handler. The spawn
+// ops ride the same path, so hostile keys, key lists and budgets are
+// covered too.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func FuzzParcelDecode(f *testing.F) {
+	// Well-formed requests for every op, so mutation explores the
+	// dispatch paths and not just the JSON error path.
+	seeds := []string{
+		`{"op":"types"}`,
+		`{"op":"discover","name":"/threads{locality#0/worker-thread#*}/time/average"}`,
+		`{"op":"evaluate","name":"/threads{locality#0/total}/count/cumulative"}`,
+		`{"op":"evaluate","name":"/threads{locality#0/total}/count/cumulative","reset":true}`,
+		`{"op":"bind_bulk","names":["/threads{locality#0/total}/count/cumulative"]}`,
+		`{"op":"evaluate_bulk","set":1}`,
+		`{"op":"evaluate_bulk","names":["/threads{locality#0/total}/count/cumulative"]}`,
+		`{"op":"unbind_bulk","set":1}`,
+		`{"op":"invoke","action":"echo","arg":"hi"}`,
+		`{"op":"invoke","action":"missing"}`,
+		`{"op":"spawn","action":"echo","arg":3,"key":"k1","budget_ms":50}`,
+		`{"op":"spawn","action":"echo","key":""}`,
+		`{"op":"spawn_poll","keys":["k1","k2"],"wait_ms":0}`,
+		`{"op":"spawn_poll","keys":[]}`,
+		`{"op":"spawn_cancel","key":"k1"}`,
+		`{"op":"nonsense"}`,
+		`{"op":"spawn","key":` + strings.Repeat(`[`, 64) + strings.Repeat(`]`, 64) + `}`,
+		`not json at all`,
+		`{"op":"spawn",`,
+		`{}`,
+		``,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	reg := core.NewRegistry()
+	c := core.NewRawCounter(
+		core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "total", -1)...),
+		core.Info{TypeName: "/threads/count/cumulative"})
+	reg.MustRegister(c)
+	srv, err := Serve("127.0.0.1:0", reg, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { srv.Close() })
+	actions := NewActionMap()
+	if err := RegisterAction(actions, "echo", func(v json.RawMessage) (json.RawMessage, error) {
+		return v, nil
+	}); err != nil {
+		f.Fatal(err)
+	}
+	srv.WithActions(actions)
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		st := &connState{}
+		resp := srv.processLine(line, st)
+		var probe request
+		if json.Unmarshal(line, &probe) != nil {
+			// Malformed JSON MUST come back as a protocol error the
+			// client can classify — never a silent success.
+			if resp.Code != codeProtocol || resp.Error == "" {
+				t.Fatalf("malformed line %q → %+v, want coded protocol error", line, resp)
+			}
+		}
+		// Whatever happened, the response must survive the wire encode
+		// the handler performs next.
+		if _, err := json.Marshal(resp); err != nil {
+			t.Fatalf("unmarshalable response for %q: %v", line, err)
+		}
+	})
+}

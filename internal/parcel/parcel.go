@@ -23,6 +23,7 @@ package parcel
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,7 +37,7 @@ import (
 
 // request is one parcel from client to server.
 type request struct {
-	Op      string          `json:"op"` // "evaluate", "evaluate_active", "discover", "types", "reset_active", "add_active", "invoke", "bind_bulk", "evaluate_bulk"
+	Op      string          `json:"op"` // "evaluate", "evaluate_active", "discover", "types", "reset_active", "add_active", "invoke", "bind_bulk", "evaluate_bulk", "spawn", "spawn_poll", "spawn_cancel"
 	Name    string          `json:"name,omitempty"`
 	Pattern string          `json:"pattern,omitempty"`
 	Reset   bool            `json:"reset,omitempty"`
@@ -44,6 +45,12 @@ type request struct {
 	Arg     json.RawMessage `json:"arg,omitempty"`
 	Names   []string        `json:"names,omitempty"`  // bind_bulk: counter names to compile
 	SetID   int64           `json:"set_id,omitempty"` // evaluate_bulk: bulk set to sample
+
+	// Distributed-spawn fields (docs/FAULTS.md, "Remote spawn").
+	Key      string   `json:"key,omitempty"`       // spawn/spawn_cancel: per-spawn idempotency key
+	Keys     []string `json:"keys,omitempty"`      // spawn_poll: keys to report on
+	BudgetMS int64    `json:"budget_ms,omitempty"` // spawn: client's remaining deadline budget
+	WaitMS   int64    `json:"wait_ms,omitempty"`   // spawn_poll: server-side completion wait window
 }
 
 // idempotent reports whether the request can be safely re-sent after a
@@ -59,7 +66,14 @@ func (r request) idempotent() bool {
 		// bind_bulk only compiles a name set into per-connection state;
 		// re-binding after a lost response is harmless.
 		return true
-	default: // add_active, reset_active, invoke, unknown ops
+	case "spawn_poll", "spawn_cancel":
+		// Polling is a read; cancelling twice cancels once. Note "spawn"
+		// itself is NOT here: re-sending it is safe thanks to the
+		// server's idempotency-key dedupe table, but the retry is owned
+		// (and counted) by the spawn plane, not re-sent blindly by the
+		// transport.
+		return true
+	default: // add_active, reset_active, invoke, spawn, unknown ops
 		return false
 	}
 }
@@ -67,13 +81,29 @@ func (r request) idempotent() bool {
 // response is one parcel from server to client.
 type response struct {
 	Error  string          `json:"error,omitempty"`
+	Code   string          `json:"code,omitempty"` // machine-readable error class (codeActionUnknown, ...)
 	Value  *core.Value     `json:"value,omitempty"`
 	Values []core.Value    `json:"values,omitempty"`
 	Names  []string        `json:"names,omitempty"`
 	Infos  []core.Info     `json:"infos,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
-	SetID  int64           `json:"set_id,omitempty"` // bind_bulk: id of the compiled set
+	SetID  int64           `json:"set_id,omitempty"`  // bind_bulk: id of the compiled set
+	Spawn  *spawnState     `json:"spawn,omitempty"`   // spawn/spawn_cancel: state of that spawn
+	Spawns []spawnState    `json:"spawns,omitempty"`  // spawn_poll: state per polled key
 }
+
+// Machine-readable error classes carried in response.Code, so clients
+// classify failures without string matching (legacy servers omit the
+// field and clients fall back to substring heuristics).
+const (
+	codeProtocol      = "protocol"       // malformed/oversized parcel
+	codeActionUnknown = "action_unknown" // no such action registered
+	codeActionError   = "action_error"   // the action body returned an error
+	codeActionPanic   = "action_panic"   // the action body panicked
+	codeCancelled     = "cancelled"      // spawn cancelled (cancel op, budget, orphan lease)
+	codeSpawnUnknown  = "spawn_unknown"  // no spawn with that key on this server
+	codeSpawnLimit    = "spawn_limit"    // server's spawn table is full
+)
 
 // ProtocolError is a typed wire-protocol violation: oversized or
 // malformed parcels. The server reports it in the response and keeps
@@ -94,6 +124,11 @@ type meters struct {
 	errors                 *core.RawCounter // transport/protocol failures
 	retries                *core.RawCounter // re-sent idempotent requests
 	timeouts               *core.RawCounter // deadline-exceeded failures (subset of errors)
+
+	// Client-side action fault split (never incremented by servers):
+	// unknown-action rejections vs errors returned by the action body.
+	actionUnknown *core.RawCounter
+	actionErrors  *core.RawCounter
 }
 
 func newMeters(reg *core.Registry, locality int64, register bool) (*meters, error) {
@@ -129,15 +164,17 @@ func newMeters(reg *core.Registry, locality int64, register bool) (*meters, erro
 	if m.timeouts, err = mk("count/timeouts", "parcel exchanges that exceeded their deadline", core.UnitEvents); err != nil {
 		return nil, err
 	}
+	if m.actionUnknown, err = mk("count/action-unknown", "invocations of actions the target does not register", core.UnitEvents); err != nil {
+		return nil, err
+	}
+	if m.actionErrors, err = mk("count/action-errors", "invocations whose action body returned an error", core.UnitEvents); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
 func newParcelCounter(locality int64, counter, help, unit string) *core.RawCounter {
-	cn := core.Name{Object: "parcels", Counter: counter}.
-		WithInstances(core.LocalityInstance(locality, "total", -1)...)
-	return core.NewRawCounter(cn, core.Info{
-		TypeName: "/parcels/" + counter, HelpText: help, Unit: unit, Version: "1.0",
-	})
+	return core.NewLocalityRaw("parcels", counter, locality, help, unit)
 }
 
 // ServerOptions tunes the server's defensive limits. The zero value
@@ -153,6 +190,17 @@ type ServerOptions struct {
 	// get an ErrParcelTooLarge response and the rest of the line is
 	// discarded. Default 1 MiB.
 	MaxParcelSize int
+	// SpawnLease is the orphan threshold for remote spawns: a running
+	// spawn whose client has not touched it (spawn/poll/cancel) for this
+	// long is cancelled and counted orphaned. Default 30s; negative
+	// disables reaping.
+	SpawnLease time.Duration
+	// SpawnRetention is how long a completed spawn's result stays
+	// available for dedupe and late polls. Default 2m.
+	SpawnRetention time.Duration
+	// MaxSpawnTasks bounds the spawn table (running + retained entries);
+	// further spawns are refused with codeSpawnLimit. Default 4096.
+	MaxSpawnTasks int
 }
 
 // DefaultMaxParcelSize bounds a request line when ServerOptions leaves
@@ -169,6 +217,15 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.MaxParcelSize <= 0 {
 		o.MaxParcelSize = DefaultMaxParcelSize
 	}
+	if o.SpawnLease == 0 {
+		o.SpawnLease = 30 * time.Second
+	}
+	if o.SpawnRetention <= 0 {
+		o.SpawnRetention = 2 * time.Minute
+	}
+	if o.MaxSpawnTasks <= 0 {
+		o.MaxSpawnTasks = 4096
+	}
 	return o
 }
 
@@ -180,6 +237,13 @@ type Server struct {
 	opts     ServerOptions
 	actions  atomic.Value // *ActionMap
 	wg       sync.WaitGroup
+
+	// spawns is the distributed-spawn task table (spawn.go): keyed by
+	// idempotency key, leased against orphaning. baseCtx parents every
+	// spawned action so Close cancels them all.
+	spawns     *spawnTable
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -215,8 +279,19 @@ func NewServer(ln net.Listener, reg *core.Registry, locality int64, opts ServerO
 		reg: reg, listener: ln, meters: m, opts: opts.withDefaults(),
 		conns: make(map[net.Conn]struct{}), closed: make(chan struct{}),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	orphaned := core.NewLocalityRaw("runtime", "remote/count/orphaned", locality,
+		"remote spawns cancelled because their client lease expired", core.UnitEvents)
+	if err := reg.Register(orphaned); err != nil {
+		ln.Close()
+		s.baseCancel()
+		return nil, err
+	}
+	s.spawns = newSpawnTable(s.opts, orphaned)
 	s.wg.Add(1)
 	go s.acceptLoop()
+	s.wg.Add(1)
+	go s.spawns.reap(&s.wg, s.closed)
 	return s, nil
 }
 
@@ -242,6 +317,10 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	// Cancel every in-flight spawned action; their goroutines are not on
+	// the waitgroup (a stuck action must not wedge Close), but their
+	// scopes die with the server.
+	s.baseCancel()
 	s.wg.Wait()
 	return err
 }
@@ -326,14 +405,7 @@ func (s *Server) handle(conn net.Conn) {
 		case err == nil:
 			s.meters.received.Inc()
 			s.meters.dataReceived.Add(int64(len(line)))
-			var req request
-			if jerr := json.Unmarshal(line, &req); jerr != nil {
-				s.meters.errors.Inc()
-				perr := &ProtocolError{Reason: "malformed request: " + jerr.Error()}
-				resp.Error = perr.Error()
-			} else {
-				resp = s.dispatch(req, st)
-			}
+			resp = s.processLine(line, st)
 		case errors.Is(err, ErrParcelTooLarge):
 			// The oversized line was drained; report and keep serving.
 			s.meters.errors.Inc()
@@ -402,6 +474,20 @@ func drainLine(rd *bufio.Reader) error {
 	}
 }
 
+// processLine decodes one request line and dispatches it — the server's
+// whole per-request decode path, factored out so FuzzParcelDecode can
+// drive it directly: malformed parcels must yield a ProtocolError
+// response, never a panic or a dead handler.
+func (s *Server) processLine(line []byte, st *connState) response {
+	var req request
+	if jerr := json.Unmarshal(line, &req); jerr != nil {
+		s.meters.errors.Inc()
+		perr := &ProtocolError{Reason: "malformed request: " + jerr.Error()}
+		return response{Error: perr.Error(), Code: codeProtocol}
+	}
+	return s.dispatch(req, st)
+}
+
 func (s *Server) dispatch(req request, st *connState) response {
 	switch req.Op {
 	case "bind_bulk":
@@ -462,6 +548,12 @@ func (s *Server) dispatch(req request, st *connState) response {
 		return response{}
 	case "invoke":
 		return s.invoke(req)
+	case "spawn":
+		return s.spawn(req)
+	case "spawn_poll":
+		return s.spawnPoll(req)
+	case "spawn_cancel":
+		return s.spawnCancel(req)
 	default:
 		return response{Error: fmt.Sprintf("parcel: unknown op %q", req.Op)}
 	}

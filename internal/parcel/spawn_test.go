@@ -1,0 +1,348 @@
+package parcel
+
+// The spawn plane's contract, tested without chaos first: exactly-once
+// execution under key dedupe and retries, deadline/cancel propagation
+// into the action body, orphan reaping, typed failures, and the
+// multiplexed poll loop under fan-out. The chaos-driven soak lives in
+// package agas (it needs the router on top).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parcel/chaos"
+)
+
+// newSpawnFixture starts a server with an action table and optional
+// chaos in the dial path.
+func newSpawnFixture(t *testing.T, sopts ServerOptions, cfg *chaos.Config) (*ActionMap, *core.Registry, *Server, *chaos.Injector, *Client) {
+	t.Helper()
+	reg := core.NewRegistry()
+	srv, err := ServeOptions("127.0.0.1:0", reg, 0, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	actions := NewActionMap()
+	srv.WithActions(actions)
+	var inj *chaos.Injector
+	copts := ClientOptions{Timeout: 2 * time.Second}
+	if cfg != nil {
+		inj = chaos.New(*cfg)
+		copts.Dialer = inj.Dialer()
+	}
+	cli, err := DialContext(context.Background(), srv.Addr(), nil, 1, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return actions, reg, srv, inj, cli
+}
+
+func TestSpawnJSONRoundTrip(t *testing.T) {
+	actions, _, _, _, cli := newSpawnFixture(t, ServerOptions{}, nil)
+	if err := RegisterAction(actions, "double", func(n int) (int, error) {
+		return 2 * n, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.SpawnJSON(context.Background(), "double", json.RawMessage("21"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "42" {
+		t.Fatalf("result = %s", res)
+	}
+}
+
+func TestSpawnDedupeByKey(t *testing.T) {
+	actions, _, _, _, cli := newSpawnFixture(t, ServerOptions{}, nil)
+	var execs atomic.Int64
+	if err := RegisterAction(actions, "count", func(struct{}) (int64, error) {
+		return execs.Add(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// The same key spawned repeatedly dedupes into one execution — the
+	// exactly-once guarantee a non-idempotent action depends on.
+	for i := 0; i < 5; i++ {
+		if _, err := cli.SpawnAction(ctx, "count", nil, "same-key"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cli.WaitSpawn(ctx, "same-key")
+	if err != nil || st.Err != nil {
+		t.Fatal(err, st.Err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("action executed %d times, want exactly once", got)
+	}
+}
+
+func TestSpawnExactlyOnceAcrossTransportRetry(t *testing.T) {
+	cfg := chaos.Config{}
+	actions, _, _, inj, cli := newSpawnFixture(t, ServerOptions{}, &cfg)
+	var execs atomic.Int64
+	if err := RegisterAction(actions, "once", func(struct{}) (int64, error) {
+		return execs.Add(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the connection so the forced drop hits the spawn exchange,
+	// not the dial.
+	if _, err := cli.Types(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop exactly one connection mid-exchange: the spawn op's response
+	// is lost, the outcome ambiguous, and SpawnJSON must re-issue the
+	// same key rather than hang or double-run.
+	inj.ForceDrop(1)
+	res, err := cli.SpawnJSON(context.Background(), "once", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "1" {
+		t.Fatalf("result = %s", res)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("action executed %d times across retry, want exactly once", got)
+	}
+	if fc := cli.FaultCounts(); fc.Retries < 1 {
+		t.Fatalf("fault counters = %+v, want ≥1 retry recorded", fc)
+	}
+}
+
+func TestSpawnDeadlinePropagatesToActionBody(t *testing.T) {
+	actions, _, _, _, cli := newSpawnFixture(t, ServerOptions{}, nil)
+	bodySawCancel := make(chan struct{})
+	if err := RegisterActionCtx(actions, "stall", func(ctx context.Context, _ struct{}) (int, error) {
+		<-ctx.Done() // cooperative: run until the shipped budget lapses
+		close(bodySawCancel)
+		return 0, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 250 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	start := time.Now()
+	_, err := cli.SpawnJSON(ctx, "stall", nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("deadline-bounded stalling spawn returned nil error")
+	}
+	// Either shape is a correct bound: the remote side cancelling the
+	// body on the shipped budget, or the local ctx lapsing mid-wait.
+	if !errors.Is(err, ErrSpawnCancelled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v", err)
+	}
+	if elapsed > budget+time.Second {
+		t.Fatalf("spawn resolved after %v, want ≈%v", elapsed, budget)
+	}
+	select {
+	case <-bodySawCancel:
+	case <-time.After(2 * time.Second):
+		t.Fatal("action body never observed the propagated deadline")
+	}
+}
+
+func TestSpawnClientCancelReachesServer(t *testing.T) {
+	actions, _, _, _, cli := newSpawnFixture(t, ServerOptions{}, nil)
+	bodySawCancel := make(chan struct{})
+	if err := RegisterActionCtx(actions, "stall", func(ctx context.Context, _ struct{}) (int, error) {
+		<-ctx.Done()
+		close(bodySawCancel)
+		return 0, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.SpawnJSON(ctx, "stall", nil)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled spawn never resolved locally")
+	}
+	// The local cancel ships a best-effort spawn_cancel op; the remote
+	// body must actually stop.
+	select {
+	case <-bodySawCancel:
+	case <-time.After(2 * time.Second):
+		t.Fatal("remote action body kept running after client cancel")
+	}
+}
+
+func TestSpawnOrphanReaped(t *testing.T) {
+	sopts := ServerOptions{SpawnLease: 80 * time.Millisecond}
+	actions, reg, _, _, cli := newSpawnFixture(t, sopts, nil)
+	bodySawCancel := make(chan struct{})
+	if err := RegisterActionCtx(actions, "stall", func(ctx context.Context, _ struct{}) (int, error) {
+		<-ctx.Done()
+		close(bodySawCancel)
+		return 0, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Spawn, then never poll again: the client "dies". Past the lease
+	// the reaper must cancel the body and count the orphan.
+	if _, err := cli.SpawnAction(context.Background(), "stall", nil, "abandoned"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-bodySawCancel:
+	case <-time.After(3 * time.Second):
+		t.Fatal("orphaned action body was never reaped")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		v, err := reg.Evaluate("/runtime{locality#0/total}/remote/count/orphaned", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Raw == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orphaned counter = %d, want 1", v.Raw)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The orphaned entry resolves cancelled for a client that comes
+	// back asking.
+	st, err := cli.WaitSpawn(context.Background(), "abandoned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(st.Err, ErrSpawnCancelled) {
+		t.Fatalf("orphaned spawn status = %v, want ErrSpawnCancelled", st.Err)
+	}
+}
+
+func TestSpawnTypedFailures(t *testing.T) {
+	// Completed entries stay in the table for the retention window (a
+	// retried key must find them), so the limit covers the two failed
+	// spawns below plus the stalling occupant.
+	actions, _, _, _, cli := newSpawnFixture(t, ServerOptions{MaxSpawnTasks: 3}, nil)
+	if err := RegisterAction(actions, "fail", func(struct{}) (int, error) {
+		return 0, fmt.Errorf("deliberate failure")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterActionCtx(actions, "stall", func(ctx context.Context, _ struct{}) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterAction(actions, "boom", func(struct{}) (int, error) {
+		panic("kaboom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Unknown action: typed, and provably not executing.
+	_, err := cli.SpawnJSON(ctx, "nope", nil)
+	if !errors.Is(err, ErrActionUnknown) {
+		t.Fatalf("unknown action error = %v", err)
+	}
+
+	// Action-returned error: *ActionError, transport fine.
+	_, err = cli.SpawnJSON(ctx, "fail", nil)
+	var ae *ActionError
+	if !errors.As(err, &ae) || ae.Panic || ae.Action != "fail" {
+		t.Fatalf("action error = %v", err)
+	}
+
+	// Panicking body: isolated into *ActionError{Panic} — the server
+	// survives (later requests on this same fixture prove it).
+	_, err = cli.SpawnJSON(ctx, "boom", nil)
+	if !errors.As(err, &ae) || !ae.Panic {
+		t.Fatalf("panic error = %v", err)
+	}
+
+	// Table full: the single slot is occupied by a stalling spawn, the
+	// next key is refused typed.
+	if _, err := cli.SpawnAction(ctx, "stall", nil, "occupant"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cli.SpawnAction(ctx, "stall", nil, "overflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(st.Err, ErrSpawnLimit) {
+		t.Fatalf("overflow status = %v, want ErrSpawnLimit", st.Err)
+	}
+	if err := cli.CancelSpawn(ctx, "occupant"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Polling a key the server never admitted: typed ErrSpawnUnknown.
+	sts, err := cli.PollSpawns(ctx, []string{"never-was"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sts["never-was"]; !st.Done || !errors.Is(st.Err, ErrSpawnUnknown) {
+		t.Fatalf("unknown key status = %+v", st)
+	}
+}
+
+func TestSpawnFanOutMultiplexed(t *testing.T) {
+	actions, _, _, _, cli := newSpawnFixture(t, ServerOptions{}, nil)
+	if err := RegisterAction(actions, "square", func(n int) (int, error) {
+		time.Sleep(time.Duration(n%7) * time.Millisecond)
+		return n * n, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 200 concurrent futures share ONE poll loop on ONE connection; a
+	// per-future blocking poll would serialize into minutes.
+	const fan = 200
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	futs := make([]*RemoteFuture[int], fan)
+	for i := range futs {
+		futs[i] = SpawnOn[int, int](ctx, cli, "square", i)
+	}
+	for i, f := range futs {
+		v, err := f.GetContext(ctx)
+		if err != nil || v != i*i {
+			t.Fatalf("square(%d) = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestSpawnGetContextBoundsAbandonedWait(t *testing.T) {
+	actions, _, _, _, cli := newSpawnFixture(t, ServerOptions{}, nil)
+	if err := RegisterActionCtx(actions, "stall", func(ctx context.Context, _ struct{}) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := SpawnOn[struct{}, int](context.Background(), cli, "stall", struct{}{})
+	wctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := f.GetContext(wctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoned wait = %v, want context.DeadlineExceeded", err)
+	}
+	if f.Ready() {
+		t.Fatal("future resolved by an abandoned wait")
+	}
+}

@@ -59,6 +59,21 @@ func AsyncCtx[T any](ctx context.Context, rt *Runtime, fn func() T) *Future[T] {
 	return SpawnCtx(ctx, rt, Async, fn)
 }
 
+// CurrentContext returns the cancellation scope of the task executing
+// the call — the same ambient scope plain Spawn inherits — or
+// context.Background() off a worker or inside a scope-less task. It is
+// how a task body hands its own life to work the runtime cannot see:
+// pass it to agas.SpawnRemoteCtx and cancelling the local task tree
+// cancels (and deadline-bounds) the remote spawn too.
+func (rt *Runtime) CurrentContext() context.Context {
+	// curCtx is only mutated by the worker goroutine itself, and this
+	// call runs on that goroutine when a task body makes it.
+	if w := rt.currentWorker(); w != nil && w.curCtx != nil {
+		return w.curCtx
+	}
+	return context.Background()
+}
+
 // SpawnTimeout is SpawnCtx with a per-spawn deadline: the task's scope
 // is ctx bounded by d, and the derived timer is released when the
 // future completes. The per-runtime WithTaskDeadline default, if set,

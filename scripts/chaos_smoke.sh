@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Chaos smoke: a 30-second seeded partition/heal soak of the remote
+# spawn plane (scripts/chaossoak). Run under a timeout in CI:
+#
+#   timeout 120 bash scripts/chaos_smoke.sh
+#
+# Two in-process replicas serve an action through chaos injectors while
+# their links are cut and healed continuously; a bounded pool of
+# deadline-carrying remote spawns must all resolve (no hangs) with the
+# /remote/count/* accounting exact. The fault schedule is seeded, so a
+# failure reproduces with the same CHAOS_SEED.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN" ./scripts/chaossoak
+
+"$BIN/chaossoak" \
+  -duration "${CHAOS_DURATION:-30s}" \
+  -seed "${CHAOS_SEED:-1}" \
+  -deadline 2s \
+  -inflight "${CHAOS_INFLIGHT:-256}"

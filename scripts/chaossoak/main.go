@@ -1,0 +1,213 @@
+// Command chaossoak is the CI soak for the remote-spawn fault plane
+// (scripts/chaos_smoke.sh): two in-process replica localities serve an
+// action through seeded chaos injectors whose links are partitioned and
+// healed continuously, while a bounded pool of deadline-carrying remote
+// spawns flows through the AGAS router. The run fails if any future
+// outlives its deadline plus slack (a hang), or if the terminal
+// accounting invariant
+//
+//	spawned == completed + failed + cancelled
+//
+// does not hold exactly on the /runtime{...}/remote/count/* counters at
+// quiesce. Exit code 0 means the fault plane held.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agas"
+	"repro/internal/core"
+	"repro/internal/parcel"
+	"repro/internal/parcel/chaos"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 30*time.Second, "how long to keep spawning")
+		seed     = flag.Int64("seed", 1, "chaos PRNG seed (same seed, same fault schedule)")
+		deadline = flag.Duration("deadline", 2*time.Second, "per-spawn deadline budget")
+		slack    = flag.Duration("slack", 10*time.Second, "extra wait past the deadline before a future counts as hung")
+		inflight = flag.Int("inflight", 256, "concurrent in-flight spawns")
+	)
+	flag.Parse()
+	if err := run(*duration, *seed, *deadline, *slack, *inflight); err != nil {
+		fmt.Fprintln(os.Stderr, "chaossoak: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+// replica is one action-serving locality behind a chaos injector.
+type replica struct {
+	srv *parcel.Server
+	inj *chaos.Injector
+	cli *parcel.Client
+}
+
+func newReplica(id, seed int64) (*replica, error) {
+	reg := core.NewRegistry()
+	srv, err := parcel.Serve("127.0.0.1:0", reg, id)
+	if err != nil {
+		return nil, err
+	}
+	actions := parcel.NewActionMap()
+	if err := parcel.RegisterActionCtx(actions, "work",
+		func(ctx context.Context, n int) (int, error) {
+			select {
+			case <-time.After(time.Duration(n%10) * time.Millisecond):
+				return n * 2, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	srv.WithActions(actions)
+	inj := chaos.New(chaos.Config{Seed: seed, DropProb: 0.01, CorruptProb: 0.005})
+	// A short breaker cooldown matters here: the toggler heals links on
+	// a sub-second cadence, and a replica must come back into rotation
+	// soon after healing rather than sitting out a long open window.
+	cli, err := parcel.DialContext(context.Background(), srv.Addr(), nil, id,
+		parcel.ClientOptions{Timeout: 2 * time.Second, Dialer: inj.Dialer(),
+			BreakerCooldown: 100 * time.Millisecond})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &replica{srv: srv, inj: inj, cli: cli}, nil
+}
+
+func run(duration time.Duration, seed int64, deadline, slack time.Duration, inflight int) error {
+	reps := make([]*replica, 2)
+	for i := range reps {
+		rep, err := newReplica(int64(i), seed+int64(i))
+		if err != nil {
+			return err
+		}
+		defer rep.srv.Close()
+		defer rep.cli.Close()
+		reps[i] = rep
+	}
+	r := agas.NewResolver()
+	monReg := core.NewRegistry()
+	if err := r.EnableRemoteCounters(monReg, 9); err != nil {
+		return err
+	}
+	for i, rep := range reps {
+		if err := r.BindRemote(int64(i), rep.cli); err != nil {
+			return err
+		}
+		if err := r.BindActions(int64(i), "work"); err != nil {
+			return err
+		}
+	}
+
+	// Partition one replica at a time, healing between cuts.
+	stop := make(chan struct{})
+	var togglerWG sync.WaitGroup
+	togglerWG.Add(1)
+	go func() {
+		defer togglerWG.Done()
+		for i := 0; ; i++ {
+			inj := reps[i%2].inj
+			inj.Partition(true)
+			select {
+			case <-time.After(150 * time.Millisecond):
+			case <-stop:
+				inj.Partition(false)
+				return
+			}
+			inj.Partition(false)
+			select {
+			case <-time.After(100 * time.Millisecond):
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var launched, completed, failed, cancelled, hung atomic.Int64
+	sem := make(chan struct{}, inflight)
+	var flightWG sync.WaitGroup
+	end := time.Now().Add(duration)
+	pace := time.NewTicker(time.Millisecond)
+	defer pace.Stop()
+	for i := 0; time.Now().Before(end); i++ {
+		// Paced admission: without it, a fast-failing window (both
+		// breakers open) recycles in-flight slots at CPU speed and the
+		// soak degenerates into millions of instant ErrNoReplica spawns.
+		<-pace.C
+		sem <- struct{}{}
+		launched.Add(1)
+		flightWG.Add(1)
+		go func(i int) {
+			defer flightWG.Done()
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			f := agas.SpawnRemoteCtx[int, int](ctx, r, "work", i)
+			guard, gcancel := context.WithTimeout(context.Background(), deadline+slack)
+			defer gcancel()
+			v, err := f.GetContext(guard)
+			switch {
+			case err == nil:
+				if v != i*2 {
+					fmt.Fprintf(os.Stderr, "chaossoak: work(%d) = %d\n", i, v)
+					hung.Add(1) // wrong result is as fatal as a hang
+					return
+				}
+				completed.Add(1)
+			case guard.Err() != nil:
+				hung.Add(1)
+				fmt.Fprintf(os.Stderr, "chaossoak: future %d unresolved past deadline+slack\n", i)
+			case errors.Is(err, context.DeadlineExceeded),
+				errors.Is(err, context.Canceled),
+				errors.Is(err, parcel.ErrSpawnCancelled),
+				errors.Is(err, agas.ErrNoReplica):
+				cancelled.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}(i)
+	}
+	flightWG.Wait()
+	close(stop)
+	togglerWG.Wait()
+
+	read := func(name string) int64 {
+		v, err := monReg.Evaluate("/runtime{locality#9/total}/remote/count/"+name, false)
+		if err != nil {
+			panic(err)
+		}
+		return v.Raw
+	}
+	spawned := read("spawned")
+	cComp, cFail, cCanc := read("completed"), read("failed"), read("cancelled")
+	fmt.Printf("chaossoak: %d spawned over %v: %d completed, %d failed, %d cancelled (retried %d, redirected %d; chaos %+v / %+v)\n",
+		spawned, duration, cComp, cFail, cCanc, read("retried"), read("redirected"),
+		reps[0].inj.Stats(), reps[1].inj.Stats())
+
+	switch {
+	case hung.Load() != 0:
+		return fmt.Errorf("%d futures hung past deadline+slack", hung.Load())
+	case spawned != launched.Load():
+		return fmt.Errorf("spawned counter %d != %d launches", spawned, launched.Load())
+	case cComp+cFail+cCanc != spawned:
+		return fmt.Errorf("completed %d + failed %d + cancelled %d != spawned %d",
+			cComp, cFail, cCanc, spawned)
+	case cComp != completed.Load() || cFail != failed.Load() || cCanc != cancelled.Load():
+		return fmt.Errorf("counters (%d/%d/%d) disagree with observed outcomes (%d/%d/%d)",
+			cComp, cFail, cCanc, completed.Load(), failed.Load(), cancelled.Load())
+	case cComp == 0:
+		return errors.New("nothing completed — the plane never worked")
+	}
+	fmt.Println("chaossoak: OK — accounting exact, no hangs")
+	return nil
+}
