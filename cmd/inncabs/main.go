@@ -48,6 +48,14 @@ func main() {
 		serveAddr = flag.String("serve", "", "serve the counter registry over parcel at this address for remote monitors (e.g. 127.0.0.1:7110)")
 		deadline  = flag.Duration("deadline", 0, "cancel the measurement after this long (0 = unbounded); cancellable benchmarks stop cooperatively")
 		watchdog  = flag.Bool("watchdog", false, "run the runtime health watchdog and log events to stderr (hpx runtime)")
+
+		httpAddr   = flag.String("http", "", "serve live telemetry over HTTP at this address (/metrics, /series, and /flight with -flight)")
+		budgetPct  = flag.Float64("budget", 0, "sampling overhead budget, percent of one core (enables the self-regulating collector; 0 = off)")
+		flightOn   = flag.Bool("flight", false, "arm the anomaly-triggered flight recorder, fed by the watchdog (hpx runtime)")
+		flightDump = flag.String("flight-dump", "", "write the flight-recorder ring as JSON to this file at exit (implies -flight; \"-\" = stdout)")
+		telemIval  = flag.Duration("telemetry-interval", 100*time.Millisecond, "base sampling interval for -http/-budget/-flight")
+		stallThr   = flag.Duration("stall-threshold", 0, "watchdog stall threshold (0 = 1s default)")
+		injStall   = flag.Duration("inject-stall", 0, "fault injection: run one extra task that sleeps this long, tripping the watchdog (hpx runtime; testing)")
 	)
 	opts := perfcli.Bind(flag.CommandLine)
 	flag.Parse()
@@ -99,13 +107,6 @@ func main() {
 		if err := trt.RegisterCounters(reg); err != nil {
 			fatal(err)
 		}
-		if *watchdog {
-			trt.StartWatchdog(taskrt.WatchdogConfig{
-				OnEvent: func(ev taskrt.HealthEvent) {
-					fmt.Fprintf(os.Stderr, "inncabs: health: %s\n", ev)
-				},
-			})
-		}
 		if *tracePath != "" || *profile {
 			trt.EnableTracing(0)
 			defer func() {
@@ -142,8 +143,8 @@ func main() {
 		fatal(fmt.Errorf("unknown runtime %q (hpx or std)", *rtName))
 	}
 	if trt == nil {
-		if *watchdog {
-			fmt.Fprintln(os.Stderr, "inncabs: -watchdog only applies to the hpx runtime; ignored")
+		if *watchdog || *flightOn || *injStall > 0 {
+			fmt.Fprintln(os.Stderr, "inncabs: -watchdog/-flight/-inject-stall only apply to the hpx runtime; ignored")
 		}
 		if *tracePath != "" || *profile {
 			fmt.Fprintln(os.Stderr, "inncabs: -trace/-profile only apply to the hpx runtime; ignored")
@@ -164,6 +165,42 @@ func main() {
 	}
 	if opts.ListCounters {
 		return
+	}
+
+	// Live telemetry: budgeted sampling, flight recorder, HTTP export.
+	plane, err := newTelemetryPlane(reg, telemetryOptions{
+		HTTPAddr:  *httpAddr,
+		BudgetPct: *budgetPct,
+		Flight:    *flightOn && trt != nil,
+		DumpPath:  *flightDump,
+		Interval:  *telemIval,
+		Stderr:    os.Stderr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer plane.stop()
+
+	// The watchdog runs when asked for, and whenever the flight recorder
+	// is armed — health events are what trigger its bursts.
+	if trt != nil && (*watchdog || (plane != nil && plane.flight != nil)) {
+		trt.StartWatchdog(taskrt.WatchdogConfig{
+			StallThreshold: *stallThr,
+			OnEvent: func(ev taskrt.HealthEvent) {
+				fmt.Fprintf(os.Stderr, "inncabs: health: %s\n", ev)
+				plane.trigger(ev.String())
+			},
+		})
+	}
+
+	// Fault injection: one extra task that sleeps past the stall
+	// threshold, so smoke tests can assert the watchdog → flight-recorder
+	// path end to end on a healthy benchmark.
+	if *injStall > 0 && trt != nil {
+		d := *injStall
+		fmt.Fprintf(os.Stderr, "inncabs: fault injection: stalling one task for %v\n", d)
+		stalled := taskrt.AsyncF(trt, func() int { time.Sleep(d); return 0 })
+		defer stalled.Wait()
 	}
 
 	if *all {

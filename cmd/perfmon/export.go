@@ -25,7 +25,7 @@ type exporter struct {
 	csv     *os.File
 }
 
-func newExporter(httpAddr, csvPath string, stderr io.Writer) (*exporter, error) {
+func newExporter(httpAddr, csvPath string, fr *telemetry.FlightRecorder, stderr io.Writer) (*exporter, error) {
 	e := &exporter{}
 	if httpAddr != "" {
 		e.sampler = telemetry.NewSampler(0)
@@ -33,10 +33,16 @@ func newExporter(httpAddr, csvPath string, stderr io.Writer) (*exporter, error) 
 		if err != nil {
 			return nil, err
 		}
-		e.srv = &http.Server{Handler: telemetry.Handler(e.sampler)}
+		var opts []telemetry.HandlerOption
+		endpoints := "/metrics, /series"
+		if fr != nil {
+			opts = append(opts, telemetry.WithFlight(fr))
+			endpoints += ", /flight"
+		}
+		e.srv = &http.Server{Handler: telemetry.Handler(e.sampler, opts...)}
 		go func() { _ = e.srv.Serve(ln) }()
-		fmt.Fprintf(stderr, "perfmon: serving telemetry on http://%s (/metrics, /series)\n",
-			ln.Addr())
+		fmt.Fprintf(stderr, "perfmon: serving telemetry on http://%s (%s)\n",
+			ln.Addr(), endpoints)
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)

@@ -35,7 +35,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parcel"
+	"repro/internal/telemetry"
 )
+
+// writeFlightDump writes the captured ring as JSON to path ("-" =
+// stdout).
+func writeFlightDump(fr *telemetry.FlightRecorder, path string, stdout io.Writer) error {
+	if path == "-" {
+		return fr.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fr.WriteJSON(f)
+}
 
 // counterList is a repeatable -counter flag.
 type counterList []string
@@ -71,6 +86,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		csvPath  = fs.String("csv", "", "append samples as CSV to this file (header row + one line per sample)")
 		spawn    = fs.String("spawn", "", "run this remote action through the fault-tolerant spawn plane and print its JSON result")
 		arg      = fs.String("arg", "", "JSON argument for -spawn")
+
+		budgetPct  = fs.Float64("budget", 0, "sampling overhead budget, percent of one core spent evaluating remote counters; the loop auto-stretches its interval to stay inside it (0 = off)")
+		flightOn   = fs.Bool("flight", false, "arm the flight recorder: a watchdog stall episode flips the loop to high-rate capture over a pre-allocated ring (served at /flight with -http)")
+		flightDump = fs.String("flight-dump", "", "write the flight-recorder ring as JSON to this file when the loop ends (implies -flight; \"-\" = stdout)")
 	)
 	fs.Var(&counters, "counter", "remote counter to read (repeatable; all sampled in one exchange)")
 	if err := fs.Parse(argv); err != nil {
@@ -123,17 +142,31 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			ctx, cancel = context.WithTimeout(ctx, *deadline)
 			defer cancel()
 		}
+		var fr *telemetry.FlightRecorder
+		if *flightOn || *flightDump != "" {
+			fr = telemetry.NewFlightRecorder(telemetry.FlightConfig{})
+		}
 		var exp *exporter
 		if *httpAddr != "" || *csvPath != "" {
 			var err error
-			exp, err = newExporter(*httpAddr, *csvPath, stderr)
+			exp, err = newExporter(*httpAddr, *csvPath, fr, stderr)
 			if err != nil {
 				fmt.Fprintln(stderr, "perfmon:", err)
 				return 1
 			}
 			defer exp.close()
 		}
-		return sampleLoop(ctx, cli, stdout, stderr, exp, counters, *reset, *n, *interval, *watchdog)
+		rc := sampleLoop(ctx, cli, stdout, stderr, exp, counters, *reset, *n, *interval, *watchdog,
+			*budgetPct, fr)
+		if *flightDump != "" && fr != nil {
+			if err := writeFlightDump(fr, *flightDump, stdout); err != nil {
+				fmt.Fprintln(stderr, "perfmon: flight dump:", err)
+				if rc == 0 {
+					rc = 1
+				}
+			}
+		}
+		return rc
 	case *spawn != "":
 		// The spawn plane, not bare invoke: the key-deduped retry path
 		// means a dropped response cannot double-run the action, -deadline
@@ -182,9 +215,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 // run with exit code 1. With watchdog > 0, one warning is printed per
 // stall episode: when no sample has succeeded for that long, and again
 // only after a recovery.
+//
+// With budgetPct > 0 the loop self-regulates: the wall time it spends
+// evaluating remote counters is metered, and a BudgetController
+// stretches the interval whenever that cost exceeds the budget (a
+// remote monitor has no tiers to demote, so rate is its only actuator).
+// With a flight recorder, every sample lands in the ring, a watchdog
+// stall episode triggers a high-rate burst, and burst rate overrides
+// both the configured and the budget-stretched interval for the
+// bounded burst window.
 func sampleLoop(ctx context.Context, cli *parcel.Client, stdout, stderr io.Writer,
-	exp *exporter, counters []string, reset bool, n int, interval, watchdog time.Duration) int {
+	exp *exporter, counters []string, reset bool, n int, interval, watchdog time.Duration,
+	budgetPct float64, fr *telemetry.FlightRecorder) int {
 	set := cli.NewBulkSet(counters)
+	cur := interval
+	var costNs int64
+	var bc *telemetry.BudgetController
+	if budgetPct > 0 {
+		bc = telemetry.NewBudgetController(telemetry.BudgetControllerConfig{
+			Budget:       telemetry.Budget{Fraction: budgetPct / 100},
+			BaseInterval: interval,
+			Cost:         func() int64 { return costNs },
+			SetInterval: func(d time.Duration) {
+				cur = d
+				fmt.Fprintf(stderr, "perfmon: budget: sampling interval -> %v\n", d)
+			},
+		})
+	}
 	good := 0
 	lastGood := time.Now()
 	stallWarned := false
@@ -194,12 +251,19 @@ func sampleLoop(ctx context.Context, cli *parcel.Client, stdout, stderr io.Write
 			fmt.Fprintf(stderr, "perfmon: watchdog: no successful sample for %v\n",
 				time.Since(lastGood).Round(time.Millisecond))
 			stallWarned = true
+			if fr != nil && fr.Trigger("watchdog: sample stall") {
+				fmt.Fprintln(stderr, "perfmon: flight recorder bursting")
+			}
 		}
 	}
 	for i := 0; i < n; i++ {
 		if i > 0 {
+			d := cur
+			if fr != nil && fr.Bursting() {
+				d = fr.BurstInterval(cur)
+			}
 			select {
-			case <-time.After(interval):
+			case <-time.After(d):
 			case <-ctx.Done():
 			}
 		}
@@ -207,7 +271,15 @@ func sampleLoop(ctx context.Context, cli *parcel.Client, stdout, stderr io.Write
 			fmt.Fprintf(stderr, "perfmon: run deadline reached after %d/%d samples: %v\n", i, n, err)
 			return 1
 		}
+		evalStart := time.Now()
 		vals, err := set.EvaluateContext(ctx, reset)
+		costNs += time.Since(evalStart).Nanoseconds()
+		if fr != nil {
+			fr.Record(time.Now(), vals)
+		}
+		if bc != nil {
+			bc.Tick(time.Now())
+		}
 		if err != nil {
 			miss(i, err.Error())
 			continue

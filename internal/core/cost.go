@@ -1,0 +1,156 @@
+package core
+
+// Sampling-cost self-observation: the registry meters the wall cost of
+// its own evaluation sweeps, so the monitoring plane can observe — and
+// budget — what observation itself costs. This is the measurement the
+// overhead-budgeted sampler (package telemetry) closes its control loop
+// on, applying the paper's thesis to the counter plane itself.
+//
+// Two self-counters are registered by NewRegistry:
+//
+//	/counters{locality#0/total}/cost/eval-ns      mean wall cost of one
+//	                                              evaluation sweep (ns);
+//	                                              histogram-backed, so
+//	                                              /statistics{...}/percentile@Q
+//	                                              answers tail costs exactly
+//	/counters{locality#0/total}/cost/per-counter  mean wall cost per counter
+//	                                              evaluated (ns)
+//
+// Metered paths: Registry.Evaluate, EvaluateActive, EvaluateActiveInto
+// and BindSet.EvaluateBatch — every sweep pays exactly one clock pair,
+// amortised over its counters, and records into one of costShards
+// histograms (two uncontended atomic adds), so metering itself stays
+// allocation-free and far below the cost it measures. Single
+// Handle.Evaluate calls are deliberately not metered: a lone ~85 ns
+// interface call would be dominated by the clock reads around it.
+
+// noteEvalCost books one metered evaluation sweep: its wall cost in
+// nanoseconds and the number of counters it evaluated. Empty sweeps are
+// not booked.
+func (r *Registry) noteEvalCost(ns int64, counters int) {
+	if counters <= 0 {
+		return
+	}
+	r.costSweeps.Add(1)
+	r.costCounters.Add(int64(counters))
+	r.costNs.Add(ns)
+	r.costHists[r.costSeq.Add(1)&(costShards-1)].Record(ns)
+}
+
+// SamplingCost returns the cumulative metered evaluation cost since
+// creation or the last cost reset: the number of evaluation sweeps, the
+// number of counter evaluations they covered, and their total wall time
+// in nanoseconds.
+func (r *Registry) SamplingCost() (sweeps, counters, ns int64) {
+	return r.costSweeps.Load(), r.costCounters.Load(), r.costNs.Load()
+}
+
+// EvalCostSnapshot returns the distribution of per-sweep evaluation
+// costs (nanoseconds), merged across the metering shards.
+func (r *Registry) EvalCostSnapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range r.costHists {
+		s.Merge(r.costHists[i].Snapshot())
+	}
+	return s
+}
+
+// resetEvalCost clears the cumulative cost meters and the sweep-cost
+// distribution. Both cost counters share this state, so resetting one
+// resets the other — the same sharing the runtime's ratio counters have.
+func (r *Registry) resetEvalCost() {
+	r.costSweeps.Store(0)
+	r.costCounters.Store(0)
+	r.costNs.Store(0)
+	for i := range r.costHists {
+		r.costHists[i].Reset()
+	}
+}
+
+// evalCostCounter is /counters/cost/eval-ns: the mean wall cost of one
+// evaluation sweep, histogram-backed for exact percentiles.
+type evalCostCounter struct {
+	name    Name
+	nameStr string
+	info    Info
+	r       *Registry
+}
+
+func (c *evalCostCounter) Name() Name { return c.name }
+func (c *evalCostCounter) Info() Info { return c.info }
+
+func (c *evalCostCounter) Value(reset bool) Value {
+	sweeps := c.r.costSweeps.Load()
+	ns := c.r.costNs.Load()
+	if reset {
+		c.r.resetEvalCost()
+	}
+	scaling := sweeps
+	if scaling == 0 {
+		scaling = 1
+	}
+	return Value{Name: c.nameStr, Raw: ns, Scaling: scaling, Count: sweeps,
+		Time: now(), Status: StatusValid}
+}
+
+func (c *evalCostCounter) Reset() { c.r.resetEvalCost() }
+
+// Quantile implements Quantiler over the per-sweep cost distribution.
+func (c *evalCostCounter) Quantile(q float64) (int64, bool) {
+	return c.r.EvalCostSnapshot().Quantile(q)
+}
+
+// perCounterCostCounter is /counters/cost/per-counter: cumulative
+// metered nanoseconds over cumulative counter evaluations.
+type perCounterCostCounter struct {
+	name    Name
+	nameStr string
+	info    Info
+	r       *Registry
+}
+
+func (c *perCounterCostCounter) Name() Name { return c.name }
+func (c *perCounterCostCounter) Info() Info { return c.info }
+
+func (c *perCounterCostCounter) Value(reset bool) Value {
+	counters := c.r.costCounters.Load()
+	ns := c.r.costNs.Load()
+	if reset {
+		c.r.resetEvalCost()
+	}
+	scaling := counters
+	if scaling == 0 {
+		scaling = 1
+	}
+	return Value{Name: c.nameStr, Raw: ns, Scaling: scaling, Count: counters,
+		Time: now(), Status: StatusValid}
+}
+
+func (c *perCounterCostCounter) Reset() { c.r.resetEvalCost() }
+
+var (
+	_ Counter   = (*evalCostCounter)(nil)
+	_ Quantiler = (*evalCostCounter)(nil)
+	_ Counter   = (*perCounterCostCounter)(nil)
+)
+
+// registerEvalCost registers the two sampling-cost self-counters; called
+// from NewRegistry.
+func registerEvalCost(r *Registry) {
+	evalName := Name{Object: "counters", Counter: "cost/eval-ns"}.
+		WithInstances(LocalityInstance(0, "total", -1)...)
+	r.MustRegister(&evalCostCounter{
+		name: evalName, nameStr: evalName.String(), r: r,
+		info: Info{TypeName: "/counters/cost/eval-ns",
+			HelpText: "mean wall cost of one counter evaluation sweep (histogram-backed)",
+			Unit:     UnitNanoseconds, Version: "1.0"},
+	})
+	perName := Name{Object: "counters", Counter: "cost/per-counter"}.
+		WithInstances(LocalityInstance(0, "total", -1)...)
+	r.MustRegister(&perCounterCostCounter{
+		name: perName, nameStr: perName.String(), r: r,
+		info: Info{TypeName: "/counters/cost/per-counter",
+			HelpText: "mean wall cost of evaluating one counter",
+			Unit:     UnitNanoseconds, Version: "1.0"},
+	})
+}

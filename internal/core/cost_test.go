@@ -1,0 +1,192 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// costTestRegistry returns a registry with one registered counter and a
+// deterministic clock advancing advance per now() call.
+func costTestRegistry(t *testing.T, advance time.Duration) (*Registry, func()) {
+	t.Helper()
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cur := base
+	old := now
+	now = func() time.Time {
+		v := cur
+		cur = cur.Add(advance)
+		return v
+	}
+	restore := func() { now = old }
+	r := NewRegistry()
+	r.MustRegister(NewRawCounter(mustName(t, "/threads{locality#0/total}/count/cumulative"), Info{}))
+	return r, restore
+}
+
+func TestEvalCostMetersEvaluate(t *testing.T) {
+	r, restore := costTestRegistry(t, time.Microsecond)
+	defer restore()
+
+	if _, err := r.Evaluate("/threads{locality#0/total}/count/cumulative", false); err != nil {
+		t.Fatal(err)
+	}
+	sweeps, counters, ns := r.SamplingCost()
+	if sweeps != 1 || counters != 1 {
+		t.Fatalf("sweeps=%d counters=%d, want 1/1", sweeps, counters)
+	}
+	if ns <= 0 {
+		t.Fatalf("metered ns = %d, want > 0", ns)
+	}
+}
+
+func TestEvalCostMetersActiveSweep(t *testing.T) {
+	r, restore := costTestRegistry(t, time.Microsecond)
+	defer restore()
+	r.MustRegister(NewRawCounter(mustName(t, "/threads{locality#0/total}/idle-rate"), Info{}))
+	if _, err := r.AddActive("/threads{locality#0/total}/count/cumulative"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddActive("/threads{locality#0/total}/idle-rate"); err != nil {
+		t.Fatal(err)
+	}
+
+	before, _, _ := r.SamplingCost()
+	var buf []Value
+	for i := 0; i < 5; i++ {
+		buf = r.EvaluateActiveInto(buf[:0], false)
+	}
+	sweeps, counters, ns := r.SamplingCost()
+	if got := sweeps - before; got != 5 {
+		t.Fatalf("sweeps delta = %d, want 5", got)
+	}
+	if counters < 10 {
+		t.Fatalf("counters = %d, want >= 10 (2 per sweep)", counters)
+	}
+	if ns <= 0 {
+		t.Fatal("no wall cost metered")
+	}
+	snap := r.EvalCostSnapshot()
+	if snap.N < 5 {
+		t.Fatalf("histogram count = %d, want >= 5", snap.N)
+	}
+	if q, ok := snap.Quantile(0.5); !ok || q <= 0 {
+		t.Fatalf("p50 = %d ok=%v", q, ok)
+	}
+}
+
+func TestEvalCostMetersBatch(t *testing.T) {
+	r, restore := costTestRegistry(t, time.Microsecond)
+	defer restore()
+	set, err := r.BindSet([]string{"/threads{locality#0/total}/count/cumulative"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _, _ := r.SamplingCost()
+	var buf []Value
+	for i := 0; i < 3; i++ {
+		buf = set.EvaluateBatch(buf, false)
+	}
+	sweeps, _, _ := r.SamplingCost()
+	if got := sweeps - before; got != 3 {
+		t.Fatalf("sweeps delta = %d, want 3", got)
+	}
+}
+
+func TestEvalCostEmptySweepNotBooked(t *testing.T) {
+	r := NewRegistry()
+	before, _, _ := r.SamplingCost()
+	r.EvaluateActiveInto(nil, false) // empty active set
+	var empty BindSet
+	empty.EvaluateBatch(nil, false)
+	sweeps, _, _ := r.SamplingCost()
+	if sweeps != before {
+		t.Fatalf("empty sweeps booked: %d -> %d", before, sweeps)
+	}
+}
+
+func TestEvalCostSelfCounters(t *testing.T) {
+	r, restore := costTestRegistry(t, time.Microsecond)
+	defer restore()
+	if _, err := r.Evaluate("/threads{locality#0/total}/count/cumulative", false); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := r.Evaluate("/counters{locality#0/total}/cost/eval-ns", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Valid() || v.Float64() <= 0 {
+		t.Fatalf("eval-ns = %+v", v)
+	}
+	pc, err := r.Evaluate("/counters{locality#0/total}/cost/per-counter", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pc.Valid() || pc.Float64() <= 0 {
+		t.Fatalf("per-counter = %+v", pc)
+	}
+	// Mean per counter can never exceed mean per sweep.
+	if pc.Float64() > v.Float64() {
+		t.Fatalf("per-counter %g > per-sweep %g", pc.Float64(), v.Float64())
+	}
+
+	// The eval-ns counter answers percentile queries through the
+	// statistics plane's Quantiler interface.
+	c, err := r.Get("/counters{locality#0/total}/cost/eval-ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := c.(Quantiler)
+	if !ok {
+		t.Fatal("eval-ns counter is not a Quantiler")
+	}
+	if p, ok := q.Quantile(0.99); !ok || p <= 0 {
+		t.Fatalf("p99 = %d ok=%v", p, ok)
+	}
+
+	// Evaluate-and-reset clears both counters' shared state.
+	if _, err := r.Evaluate("/counters{locality#0/total}/cost/eval-ns", true); err != nil {
+		t.Fatal(err)
+	}
+	sweeps, counters, ns := r.SamplingCost()
+	// The reset evaluation itself books new sweeps afterwards, but the
+	// pre-reset accumulation (several sweeps) must be gone.
+	if sweeps > 2 || counters > 2 || ns < 0 {
+		t.Fatalf("after reset: sweeps=%d counters=%d ns=%d", sweeps, counters, ns)
+	}
+}
+
+func TestEvalCostInTypesAndDiscover(t *testing.T) {
+	r := NewRegistry()
+	found := 0
+	for _, info := range r.Types() {
+		if strings.HasPrefix(info.TypeName, "/counters/cost/") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("cost counter types registered = %d, want 2", found)
+	}
+	names, err := r.Discover("/counters{locality#0/total}/cost/eval-ns")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("discover: %v %v", names, err)
+	}
+}
+
+func TestActiveGenerationBumpsOnChange(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(NewRawCounter(mustName(t, "/threads{locality#0/total}/count/cumulative"), Info{}))
+	g0 := r.ActiveGeneration()
+	if _, err := r.AddActive("/threads{locality#0/total}/count/cumulative"); err != nil {
+		t.Fatal(err)
+	}
+	g1 := r.ActiveGeneration()
+	if g1 <= g0 {
+		t.Fatalf("generation did not advance on AddActive: %d -> %d", g0, g1)
+	}
+	r.RemoveActive("/threads{locality#0/total}/count/cumulative")
+	if g2 := r.ActiveGeneration(); g2 <= g1 {
+		t.Fatalf("generation did not advance on RemoveActive: %d -> %d", g1, g2)
+	}
+}

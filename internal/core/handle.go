@@ -124,14 +124,21 @@ func (s *BindSet) Handle(i int) Handle { return s.handles[i] }
 // backing array when it has capacity, and returns the filled slice in
 // bind order. With a pre-grown dst a steady-state sampling loop
 // allocates nothing. Pass nil to let the first call size the buffer.
+// The sweep's wall cost is metered into /counters{...}/cost/*.
 func (s *BindSet) EvaluateBatch(dst []Value, reset bool) []Value {
 	if cap(dst) < len(s.handles) {
 		dst = make([]Value, len(s.handles))
 	} else {
 		dst = dst[:len(s.handles)]
 	}
+	start := now()
 	for i := range s.handles {
 		dst[i] = s.handles[i].Evaluate(reset)
+	}
+	if len(s.handles) > 0 {
+		if r := s.handles[0].r; r != nil {
+			r.noteEvalCost(now().Sub(start).Nanoseconds(), len(s.handles))
+		}
 	}
 	return dst
 }

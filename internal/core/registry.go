@@ -45,6 +45,12 @@ type activeSnapshot struct {
 
 var emptyActive = &activeSnapshot{}
 
+// costShards is the number of independent histograms the sampling-cost
+// meter spreads its recordings over, so concurrent samplers do not
+// serialise on one set of bucket cache lines. Merged on read. Must be a
+// power of two.
+const costShards = 4
+
 // Registry holds the counter types and live counter instances of one
 // locality. It is safe for concurrent use. Instances are sharded by
 // name hash; the active set is published as an immutable sorted
@@ -57,14 +63,29 @@ type Registry struct {
 
 	// activeMu serialises active-set mutation; activeSet is the mutable
 	// membership map and active the published read-only snapshot.
+	// activeGen increments on every published change so samplers can
+	// cache derived structures (tier splits, bind sets) and rebuild only
+	// when membership actually moved.
 	activeMu  sync.Mutex
 	activeSet map[string]Counter
 	active    atomic.Pointer[activeSnapshot]
+	activeGen atomic.Uint64
 
 	// evalErrors counts counter evaluations that panicked and were
 	// converted to StatusInvalidData, exposed as the
 	// /counters{locality#0/total}/count/errors self-counter.
 	evalErrors atomic.Int64
+
+	// Sampling-cost self-observation: every metered evaluation sweep
+	// (Evaluate, EvaluateActive, EvaluateActiveInto, BindSet batches)
+	// books its own wall cost here, so the telemetry plane can budget
+	// the very thing it spends. Exposed as the
+	// /counters{locality#0/total}/cost/{eval-ns,per-counter} counters.
+	costSweeps   atomic.Int64
+	costCounters atomic.Int64
+	costNs       atomic.Int64
+	costSeq      atomic.Uint64
+	costHists    [costShards]Histogram
 }
 
 // NewRegistry creates an empty registry with the meta counter families
@@ -88,6 +109,7 @@ func NewRegistry() *Registry {
 		Unit:     UnitEvents, Version: "1.0"}
 	r.MustRegister(NewFuncCounter(errName, errInfo, 0,
 		r.evalErrors.Load, func() { r.evalErrors.Store(0) }))
+	registerEvalCost(r)
 	return r
 }
 
@@ -297,14 +319,19 @@ func (r *Registry) get(n Name) (Counter, error) {
 // parsing entirely; callers on a sampling loop should prefer Bind and
 // Handle.Evaluate, which skip the map lookup as well.
 func (r *Registry) Evaluate(fullName string, reset bool) (Value, error) {
+	start := now()
 	if c, ok := r.lookup(fullName); ok {
-		return r.safeValue(c, reset), nil
+		v := r.safeValue(c, reset)
+		r.noteEvalCost(now().Sub(start).Nanoseconds(), 1)
+		return v, nil
 	}
 	c, err := r.Get(fullName)
 	if err != nil {
 		return Value{Name: fullName, Status: StatusCounterUnknown}, err
 	}
-	return r.safeValue(c, reset), nil
+	v := r.safeValue(c, reset)
+	r.noteEvalCost(now().Sub(start).Nanoseconds(), 1)
+	return v, nil
 }
 
 // Types returns the metadata of all registered counter types, sorted by
@@ -384,9 +411,16 @@ func (r *Registry) Discover(pattern string) ([]Name, error) {
 // ---------------------------------------------------------------------------
 // Active set: the HPX evaluate_active_counters / reset_active_counters API.
 
+// ActiveGeneration returns a counter that increments every time the
+// published active set changes. Samplers that derive per-tier bind sets
+// or other views from the active set compare generations to rebuild
+// only on real membership changes.
+func (r *Registry) ActiveGeneration() uint64 { return r.activeGen.Load() }
+
 // publishActiveLocked rebuilds the sorted immutable snapshot from the
 // membership map. Caller holds activeMu.
 func (r *Registry) publishActiveLocked() {
+	r.activeGen.Add(1)
 	if len(r.activeSet) == 0 {
 		r.active.Store(emptyActive)
 		return
@@ -483,9 +517,11 @@ func (r *Registry) RemoveActive(fullName string) {
 func (r *Registry) EvaluateActive(reset bool) []Value {
 	snap := r.active.Load()
 	values := make([]Value, len(snap.counters))
+	start := now()
 	for i, c := range snap.counters {
 		values[i] = r.safeValue(c, reset)
 	}
+	r.noteEvalCost(now().Sub(start).Nanoseconds(), len(snap.counters))
 	return values
 }
 
@@ -501,9 +537,11 @@ func (r *Registry) EvaluateActiveInto(dst []Value, reset bool) []Value {
 	} else {
 		dst = dst[:len(snap.counters)]
 	}
+	start := now()
 	for i, c := range snap.counters {
 		dst[i] = r.safeValue(c, reset)
 	}
+	r.noteEvalCost(now().Sub(start).Nanoseconds(), len(snap.counters))
 	return dst
 }
 

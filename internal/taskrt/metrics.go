@@ -395,6 +395,7 @@ func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
 		{"health/backlog-growth", "watchdog: sustained injector backlog growth episodes", &rt.healthBacklog},
 		{"health/deadlocks", "watchdog: suspected deadlocked wait cycles", &rt.healthDeadlock},
 		{"health/events", "watchdog: total health events raised", &rt.healthEvents},
+		{"health/callback-errors", "watchdog: OnEvent callbacks that panicked (recovered)", &rt.healthCbErrors},
 	}
 	for _, s := range resSpecs {
 		s := s

@@ -101,6 +101,7 @@ type Runtime struct {
 	healthBacklog  atomic.Int64 // backlog_growth events
 	healthDeadlock atomic.Int64 // deadlock_suspected events
 	healthEvents   atomic.Int64 // all health events
+	healthCbErrors atomic.Int64 // OnEvent callbacks that panicked (recovered)
 	wdMu           sync.Mutex
 	wd             *watchdog
 

@@ -204,8 +204,22 @@ func (wd *watchdog) emit(ev HealthEvent) {
 		wd.rt.healthDeadlock.Add(1)
 	}
 	if wd.cfg.OnEvent != nil {
-		wd.cfg.OnEvent(ev)
+		wd.safeOnEvent(ev)
 	}
+}
+
+// safeOnEvent isolates the subscriber: a panicking OnEvent callback is
+// recovered and counted into /runtime{...}/health/callback-errors, and
+// the watchdog keeps sweeping — a buggy subscriber must not take down
+// health monitoring, which matters most exactly when things are already
+// going wrong.
+func (wd *watchdog) safeOnEvent(ev HealthEvent) {
+	defer func() {
+		if recover() != nil {
+			wd.rt.healthCbErrors.Add(1)
+		}
+	}()
+	wd.cfg.OnEvent(ev)
 }
 
 // sweep takes one sample of the runtime's health. Separated from loop so

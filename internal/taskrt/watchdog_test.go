@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // eventLog collects watchdog events for assertions.
@@ -260,5 +262,44 @@ func TestWatchdogStartStop(t *testing.T) {
 	rt.StartWatchdog(WatchdogConfig{}) // after shutdown: no-op
 	if rt.wd != nil {
 		t.Fatal("StartWatchdog ran on a closed runtime")
+	}
+}
+
+// TestWatchdogOnEventPanicIsolated: a panicking OnEvent subscriber is
+// recovered and counted, and the watchdog keeps raising events — two
+// separate stall episodes both arrive despite the callback blowing up
+// on every one of them.
+func TestWatchdogOnEventPanicIsolated(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	var log eventLog
+	rt.StartWatchdog(WatchdogConfig{
+		Interval:       3 * time.Millisecond,
+		StallThreshold: 25 * time.Millisecond,
+		OnEvent: func(ev HealthEvent) {
+			log.add(ev)
+			panic("buggy subscriber")
+		},
+	})
+	for i := 0; i < 2; i++ {
+		AsyncF(rt, func() int {
+			time.Sleep(100 * time.Millisecond)
+			return 1
+		}).Wait()
+	}
+	rt.StopWatchdog()
+
+	if got := log.count(HealthStalledTask); got != 2 {
+		t.Fatalf("stalled_task events after panics = %d, want 2 (%v)", got, log.events)
+	}
+	if got, want := rt.healthCbErrors.Load(), int64(len(log.events)); got != want {
+		t.Fatalf("callback-errors = %d, want %d (one per delivered event)", got, want)
+	}
+	reg := core.NewRegistry()
+	if err := rt.RegisterCounters(reg); err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.Evaluate("/runtime{locality#0/total}/health/callback-errors", false)
+	if err != nil || !v.Valid() || v.Raw != rt.healthCbErrors.Load() {
+		t.Fatalf("callback-errors counter = %+v, %v", v, err)
 	}
 }

@@ -59,6 +59,59 @@ func TestRegistrySourceAllocs(t *testing.T) {
 	}
 }
 
+func TestFlightRecordAllocs(t *testing.T) {
+	// The flight recorder exists to capture the moments the runtime is
+	// already unhealthy — allocating on the record path would perturb
+	// exactly the state it is trying to preserve. The ring is
+	// pre-allocated at arm time; Record must stay zero-alloc even while
+	// bursting, wrapping, and truncating.
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	fr := NewFlightRecorder(FlightConfig{Frames: 16, MaxCounters: 4})
+	vals := flightVals(8, 7) // > MaxCounters: truncation path included
+	t0 := time.Unix(100, 0)
+	fr.triggerAt(t0, "alloc test") // burst path included
+	i := 0
+	n := testing.AllocsPerRun(200, func() {
+		i++
+		fr.Record(t0.Add(time.Duration(i)*time.Millisecond), vals)
+	})
+	if n != 0 {
+		t.Fatalf("flight Record allocates %v per frame, want 0", n)
+	}
+}
+
+func TestCollectorSampleWithFlightAllocs(t *testing.T) {
+	// The full per-tick observe path — registry sweep, sampler ring
+	// append, flight ring copy — at steady state. time.Now() inside
+	// SampleOnce is the only runtime call and does not allocate.
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	reg := core.NewRegistry()
+	for i := 0; i < 8; i++ {
+		cn := core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "worker-thread", int64(i))...)
+		reg.MustRegister(core.NewRawCounter(cn, core.Info{TypeName: "/threads/count/cumulative"}))
+	}
+	if _, err := reg.AddActive("/threads{locality#0/worker-thread#*}/count/cumulative"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(4) // small ring: eviction path included
+	c := NewCollector(s, RegistrySource(reg, false), time.Second)
+	fr := NewFlightRecorder(FlightConfig{Frames: 32, MaxCounters: 16})
+	c.EnableFlight(fr)
+	c.TriggerFlight("alloc test")
+	for i := 0; i < 8; i++ { // warm the sampler's series map
+		c.SampleOnce()
+	}
+	n := testing.AllocsPerRun(200, func() { c.SampleOnce() })
+	if n != 0 {
+		t.Fatalf("collector sample with flight attached allocates %v per tick, want 0", n)
+	}
+}
+
 func TestWritePrometheusPoolReuse(t *testing.T) {
 	// Renders from a pool-warmed state must be byte-identical to a cold
 	// render: pooled scratch may not leak rows between scrapes.

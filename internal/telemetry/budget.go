@@ -1,0 +1,529 @@
+package telemetry
+
+// Overhead-budgeted sampling (ScALPEL-style): the collector is given a
+// budget — a maximum fraction of one core that observation may cost —
+// and a closed-loop controller keeps the *measured* sampling cost (the
+// registry's own /counters{...}/cost meters) inside it. Degradation is
+// graceful and ordered: debug-tier counters are demoted first, then
+// normal-tier, then the sampling interval stretches; critical counters
+// are never dropped. Recovery is the reverse, gated by hysteresis so a
+// workload hovering at the budget edge cannot make the sampler flap.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Priority is a counter's sampling tier, assigned when the budgeted
+// collector binds the active set. Under budget pressure lower tiers are
+// demoted (stop being sampled) before higher ones.
+type Priority uint8
+
+const (
+	// PriorityCritical counters are never demoted: health, error and
+	// budget self-counters — the ones that explain an incident.
+	PriorityCritical Priority = iota
+	// PriorityNormal is the default tier.
+	PriorityNormal
+	// PriorityDebug counters (per-worker breakdowns, percentile
+	// series) are the first to go under pressure.
+	PriorityDebug
+
+	numPriorities = 3
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityCritical:
+		return "critical"
+	case PriorityNormal:
+		return "normal"
+	case PriorityDebug:
+		return "debug"
+	}
+	return fmt.Sprintf("priority(%d)", uint8(p))
+}
+
+// DefaultTiers classifies a full counter name into a sampling tier:
+// self-observation, health and error counters are critical (they must
+// survive any degradation — they are what a post-incident flight dump
+// is read for); per-worker instances and statistics/percentile series
+// are debug; everything else is normal.
+func DefaultTiers(name string) Priority {
+	switch {
+	case strings.Contains(name, "/cost/"),
+		strings.Contains(name, "/budget/"),
+		strings.Contains(name, "/flight/"),
+		strings.Contains(name, "/health/"),
+		strings.Contains(name, "/count/errors"):
+		return PriorityCritical
+	case strings.Contains(name, "worker-thread#"),
+		strings.HasPrefix(name, "/statistics{"),
+		strings.Contains(name, "percentile"):
+		return PriorityDebug
+	}
+	return PriorityNormal
+}
+
+// Budget bounds what sampling may cost.
+type Budget struct {
+	// Fraction is the maximum fraction of one core the metered
+	// sampling cost may consume (0.01 = 1%). Defaults to 0.01.
+	Fraction float64
+	// Window is the controller's decision period: cost is averaged
+	// over it and at most one degrade/ease action is taken per window.
+	// Defaults to 1s.
+	Window time.Duration
+	// MaxInterval caps interval stretching (the last degradation
+	// stage). Defaults to 64× the collector's base interval.
+	MaxInterval time.Duration
+	// PromoteAfter is how many consecutive under-half-budget windows
+	// must pass before the controller eases one step back. Doubles
+	// (up to 32) every time an ease is followed promptly by another
+	// degrade — the anti-flap hysteresis. Defaults to 3.
+	PromoteAfter int
+}
+
+func (b Budget) withDefaults(base time.Duration) Budget {
+	if b.Fraction <= 0 {
+		b.Fraction = 0.01
+	}
+	if b.Window <= 0 {
+		b.Window = time.Second
+	}
+	if b.MaxInterval <= 0 {
+		b.MaxInterval = 64 * base
+	}
+	if b.MaxInterval < base {
+		b.MaxInterval = base
+	}
+	if b.PromoteAfter <= 0 {
+		b.PromoteAfter = 3
+	}
+	return b
+}
+
+// BudgetControllerConfig wires a BudgetController to the thing it
+// regulates. Cost and BaseInterval are required; Levels/SetLevel are
+// optional (a remote monitor like perfmon has no tiers to demote and
+// regulates rate only).
+type BudgetControllerConfig struct {
+	Budget Budget
+	// BaseInterval is the undegraded sampling interval.
+	BaseInterval time.Duration
+	// Cost returns the cumulative metered sampling cost in
+	// nanoseconds (monotone non-decreasing between windows).
+	Cost func() int64
+	// SetInterval is called whenever the controller changes the
+	// sampling interval.
+	SetInterval func(time.Duration)
+	// Levels is the number of demotion levels available (2 for the
+	// tiered source: drop debug, then drop normal). 0 disables tier
+	// demotion and the controller regulates by interval alone.
+	Levels int
+	// SetLevel is called whenever the demotion level changes.
+	SetLevel func(int)
+}
+
+// BudgetController is the closed loop: feed it Tick(now) at any cadence
+// (it acts at most once per Budget.Window) and it drives the measured
+// sampling overhead back under budget by demoting tiers, then
+// stretching the interval — and eases back out, reverse order, with
+// hysteresis. It is passive and time-explicit, so it works equally for
+// the local budgeted collector and perfmon's remote sampling loop, and
+// is deterministic under test.
+type BudgetController struct {
+	cfg    BudgetControllerConfig
+	budget Budget
+
+	mu           sync.Mutex
+	lastTick     time.Time
+	lastCost     int64
+	level        int
+	interval     time.Duration
+	underCount   int
+	promoteAfter int
+	lastEase     time.Time
+
+	overheadPPM atomic.Int64
+	headroomPPM atomic.Int64
+	intervalNs  atomic.Int64
+	levelNow    atomic.Int64
+	demotions   atomic.Int64
+	promotions  atomic.Int64
+}
+
+// NewBudgetController builds a controller; panics if cfg.Cost or
+// cfg.BaseInterval is unset (they are programming errors, not runtime
+// conditions).
+func NewBudgetController(cfg BudgetControllerConfig) *BudgetController {
+	if cfg.Cost == nil {
+		panic("telemetry: BudgetController needs a Cost source")
+	}
+	if cfg.BaseInterval <= 0 {
+		panic("telemetry: BudgetController needs a positive BaseInterval")
+	}
+	if cfg.Levels > 0 && cfg.SetLevel == nil {
+		panic("telemetry: Levels > 0 requires SetLevel")
+	}
+	b := cfg.Budget.withDefaults(cfg.BaseInterval)
+	bc := &BudgetController{
+		cfg:          cfg,
+		budget:       b,
+		interval:     cfg.BaseInterval,
+		promoteAfter: b.PromoteAfter,
+	}
+	bc.intervalNs.Store(cfg.BaseInterval.Nanoseconds())
+	bc.headroomPPM.Store(int64(b.Fraction * 1e6))
+	return bc
+}
+
+// Tick advances the control loop. Call it as often as convenient; a
+// decision is made only when a full Budget.Window has elapsed since the
+// last one. The first call only arms the window.
+func (bc *BudgetController) Tick(t time.Time) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.lastTick.IsZero() {
+		bc.lastTick = t
+		bc.lastCost = bc.cfg.Cost()
+		return
+	}
+	elapsed := t.Sub(bc.lastTick)
+	if elapsed < bc.budget.Window {
+		return
+	}
+	cur := bc.cfg.Cost()
+	delta := cur - bc.lastCost
+	bc.lastTick = t
+	bc.lastCost = cur
+	if delta < 0 { // cost meter was reset underneath us; re-arm
+		return
+	}
+	overhead := float64(delta) / float64(elapsed.Nanoseconds())
+	bc.overheadPPM.Store(int64(overhead * 1e6))
+	bc.headroomPPM.Store(int64((bc.budget.Fraction - overhead) * 1e6))
+	switch {
+	case overhead > bc.budget.Fraction:
+		bc.degradeLocked(t)
+	case overhead < bc.budget.Fraction/2:
+		bc.underCount++
+		if bc.underCount >= bc.promoteAfter {
+			bc.easeLocked(t)
+		}
+	default:
+		// Inside [half, full] budget: hold position. This dead band
+		// is half the hysteresis — the other half is PromoteAfter.
+		bc.underCount = 0
+	}
+}
+
+// degradeLocked sheds one step of sampling cost: demote the next tier
+// (debug before normal, never critical), and only once no tier is left
+// to demote, double the interval up to MaxInterval.
+func (bc *BudgetController) degradeLocked(t time.Time) {
+	bc.underCount = 0
+	// Flap guard: degrading right after easing means the ease was
+	// premature — require a longer calm stretch before the next one.
+	if !bc.lastEase.IsZero() && t.Sub(bc.lastEase) <= 2*bc.budget.Window {
+		if bc.promoteAfter < 32 {
+			bc.promoteAfter *= 2
+		}
+	}
+	switch {
+	case bc.level < bc.cfg.Levels:
+		bc.level++
+		bc.levelNow.Store(int64(bc.level))
+		bc.cfg.SetLevel(bc.level)
+		bc.demotions.Add(1)
+	case bc.interval < bc.budget.MaxInterval:
+		bc.interval *= 2
+		if bc.interval > bc.budget.MaxInterval {
+			bc.interval = bc.budget.MaxInterval
+		}
+		bc.intervalNs.Store(bc.interval.Nanoseconds())
+		if bc.cfg.SetInterval != nil {
+			bc.cfg.SetInterval(bc.interval)
+		}
+		bc.demotions.Add(1)
+	}
+	// Fully saturated (critical-only at MaxInterval): nothing left to
+	// shed; the budget counters keep reporting the excess.
+}
+
+// easeLocked restores one step, reverse of degradation: shrink a
+// stretched interval back toward base first, then promote tiers.
+func (bc *BudgetController) easeLocked(t time.Time) {
+	bc.underCount = 0
+	bc.lastEase = t
+	switch {
+	case bc.interval > bc.cfg.BaseInterval:
+		bc.interval /= 2
+		if bc.interval < bc.cfg.BaseInterval {
+			bc.interval = bc.cfg.BaseInterval
+		}
+		bc.intervalNs.Store(bc.interval.Nanoseconds())
+		if bc.cfg.SetInterval != nil {
+			bc.cfg.SetInterval(bc.interval)
+		}
+		bc.promotions.Add(1)
+	case bc.level > 0:
+		bc.level--
+		bc.levelNow.Store(int64(bc.level))
+		bc.cfg.SetLevel(bc.level)
+		bc.promotions.Add(1)
+	}
+}
+
+// OverheadPPM returns the last window's measured sampling overhead in
+// parts-per-million of one core.
+func (bc *BudgetController) OverheadPPM() int64 { return bc.overheadPPM.Load() }
+
+// HeadroomPPM returns budget minus measured overhead, in ppm (negative
+// while over budget).
+func (bc *BudgetController) HeadroomPPM() int64 { return bc.headroomPPM.Load() }
+
+// Interval returns the interval the controller currently commands.
+func (bc *BudgetController) Interval() time.Duration {
+	return time.Duration(bc.intervalNs.Load())
+}
+
+// Level returns the current demotion level (0 = nothing demoted).
+func (bc *BudgetController) Level() int { return int(bc.levelNow.Load()) }
+
+// Demotions returns the cumulative count of degradation steps taken.
+func (bc *BudgetController) Demotions() int64 { return bc.demotions.Load() }
+
+// Promotions returns the cumulative count of easing steps taken.
+func (bc *BudgetController) Promotions() int64 { return bc.promotions.Load() }
+
+// RegisterCounters self-exports the controller's state as
+// /telemetry{locality#0/total}/budget/* counters on reg and adds them
+// to the active set, so the budget plane is visible through the very
+// plane it regulates (they are critical-tier by DefaultTiers). Already-
+// registered names are left in place.
+func (bc *BudgetController) RegisterCounters(reg *core.Registry) {
+	register := func(counter, help, unit string, sample func() int64) {
+		n := core.Name{Object: "telemetry", Counter: counter}.
+			WithInstances(core.LocalityInstance(0, "total", -1)...)
+		c := core.NewFuncCounter(n, core.Info{
+			TypeName: "/telemetry/" + counter,
+			HelpText: help,
+			Unit:     unit,
+			Version:  "1.0",
+		}, 0, sample, nil)
+		if err := reg.Register(c); err != nil {
+			return
+		}
+		_, _ = reg.AddActive(n.String())
+	}
+	register("budget/overhead", "measured sampling overhead, ppm of one core",
+		core.UnitNone, bc.OverheadPPM)
+	register("budget/headroom", "budget minus measured overhead, ppm (negative = over)",
+		core.UnitNone, bc.HeadroomPPM)
+	register("budget/rate", "controller-commanded sampling interval",
+		core.UnitNanoseconds, bc.intervalNs.Load)
+	register("budget/level", "current demotion level (0 = full set)",
+		core.UnitNone, bc.levelNow.Load)
+	register("budget/demotions", "cumulative degradation steps (tier demotions + interval stretches)",
+		core.UnitEvents, bc.demotions.Load)
+	register("budget/promotions", "cumulative easing steps",
+		core.UnitEvents, bc.promotions.Load)
+}
+
+// ---------------------------------------------------------------------------
+// tieredSource: the active set split by priority, evaluated by level.
+
+// tieredSource samples a registry's active set through per-tier compiled
+// bind sets, skipping demoted tiers. The sets are rebuilt only when the
+// registry's active generation changes, so the steady-state sample path
+// stays allocation-free.
+type tieredSource struct {
+	reg      *core.Registry
+	classify func(string) Priority
+	reset    bool
+	// burst reports whether the flight recorder is bursting: a burst
+	// captures the full set regardless of demotion level — the window
+	// is bounded, so the budget claim stays honest.
+	burst func() bool
+
+	level atomic.Int32
+
+	mu        sync.Mutex
+	overrides map[string]Priority
+	gen       uint64
+	built     bool
+	sets      [numPriorities]*core.BindSet
+	scratch   [numPriorities][]core.Value
+	buf       []core.Value
+}
+
+func newTieredSource(reg *core.Registry, classify func(string) Priority, reset bool) *tieredSource {
+	if classify == nil {
+		classify = DefaultTiers
+	}
+	return &tieredSource{reg: reg, classify: classify, reset: reset}
+}
+
+func (ts *tieredSource) setLevel(l int) { ts.level.Store(int32(l)) }
+
+// setTier pins one counter name to a tier, overriding the classifier,
+// and forces a rebuild on the next sample.
+func (ts *tieredSource) setTier(name string, p Priority) {
+	ts.mu.Lock()
+	if ts.overrides == nil {
+		ts.overrides = make(map[string]Priority)
+	}
+	ts.overrides[name] = p
+	ts.built = false
+	ts.mu.Unlock()
+}
+
+func (ts *tieredSource) tierOf(name string) Priority {
+	if p, ok := ts.overrides[name]; ok {
+		if p >= numPriorities {
+			p = PriorityDebug
+		}
+		return p
+	}
+	p := ts.classify(name)
+	if p >= numPriorities {
+		p = PriorityDebug
+	}
+	return p
+}
+
+func (ts *tieredSource) rebuildLocked(gen uint64) {
+	var names [numPriorities][]string
+	for _, n := range ts.reg.Active() {
+		p := ts.tierOf(n)
+		names[p] = append(names[p], n)
+	}
+	for p := range ts.sets {
+		ts.sets[p] = ts.reg.BindSetLenient(names[p])
+	}
+	ts.gen = gen
+	ts.built = true
+}
+
+// sample is the collector Source: evaluate every non-demoted tier into
+// one reused buffer. Demoted tiers are not evaluated at all — their
+// cost genuinely disappears, which is what lets the controller converge.
+func (ts *tieredSource) sample() []core.Value {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if gen := ts.reg.ActiveGeneration(); !ts.built || gen != ts.gen {
+		ts.rebuildLocked(gen)
+	}
+	lvl := int(ts.level.Load())
+	if ts.burst != nil && ts.burst() {
+		lvl = 0
+	}
+	ts.buf = ts.buf[:0]
+	for p := 0; p < numPriorities; p++ {
+		// Level l drops the lowest l tiers: 1 drops debug, 2 drops
+		// normal too; critical would need level 3, which no
+		// controller is configured to reach.
+		if lvl >= numPriorities-p {
+			continue
+		}
+		ts.scratch[p] = ts.sets[p].EvaluateBatch(ts.scratch[p][:0], ts.reset)
+		ts.buf = append(ts.buf, ts.scratch[p]...)
+	}
+	return ts.buf
+}
+
+// ---------------------------------------------------------------------------
+// BudgetedCollector: collector + tiered source + controller, wired.
+
+// BudgetedCollector is a Collector whose sampling cost is closed-loop
+// regulated to stay inside a Budget. The embedded Collector serves the
+// usual sampler plane; Controller exposes the loop's state.
+type BudgetedCollector struct {
+	*Collector
+	Controller *BudgetController
+
+	tiers *tieredSource
+
+	mu      sync.Mutex
+	stopCtl chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewBudgetedCollector samples reg's active set into s every interval,
+// regulated to b. With reset, samples evaluate-and-reset. The budget's
+// cost signal is reg's own /counters{...}/cost meter, so anything else
+// evaluating counters on reg (an HTTP scrape, an ad-hoc query) counts
+// against the same budget — the controller regulates total observation
+// cost, not just its own.
+func NewBudgetedCollector(s *Sampler, reg *core.Registry, interval time.Duration, b Budget, reset bool) *BudgetedCollector {
+	ts := newTieredSource(reg, DefaultTiers, reset)
+	col := NewCollector(s, ts.sample, interval)
+	ctl := NewBudgetController(BudgetControllerConfig{
+		Budget:       b,
+		BaseInterval: col.Interval(),
+		Cost: func() int64 {
+			_, _, ns := reg.SamplingCost()
+			return ns
+		},
+		SetInterval: col.SetInterval,
+		Levels:      numPriorities - 1, // drop debug, then normal; never critical
+		SetLevel:    ts.setLevel,
+	})
+	bc := &BudgetedCollector{Collector: col, Controller: ctl, tiers: ts}
+	ts.burst = func() bool {
+		fr := col.flight.Load()
+		return fr != nil && fr.Bursting()
+	}
+	return bc
+}
+
+// SetTier pins one counter to a tier, overriding DefaultTiers.
+func (bc *BudgetedCollector) SetTier(name string, p Priority) { bc.tiers.setTier(name, p) }
+
+// Start begins sampling and the control loop (idempotent).
+func (bc *BudgetedCollector) Start() {
+	bc.Collector.Start()
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.stopCtl != nil {
+		return
+	}
+	stop := make(chan struct{})
+	bc.stopCtl = stop
+	bc.wg.Add(1)
+	go func() {
+		defer bc.wg.Done()
+		// Tick at half the window so a full window is always seen
+		// within one period of elapsing; the controller itself acts
+		// at most once per window.
+		t := time.NewTicker(bc.Controller.budget.Window / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				bc.Controller.Tick(now)
+			}
+		}
+	}()
+}
+
+// Stop ends the control loop and sampling (idempotent).
+func (bc *BudgetedCollector) Stop() {
+	bc.mu.Lock()
+	stop := bc.stopCtl
+	bc.stopCtl = nil
+	bc.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		bc.wg.Wait()
+	}
+	bc.Collector.Stop()
+}

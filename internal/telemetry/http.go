@@ -22,11 +22,33 @@ import (
 	"repro/internal/core"
 )
 
+// HandlerOption extends Handler with optional endpoints.
+type HandlerOption func(*http.ServeMux)
+
+// WithFlight serves fr's captured ring at GET /flight — JSON by
+// default, CSV with ?format=csv — next to /metrics and /series, so an
+// operator can pull the around-the-anomaly capture without touching
+// the process.
+func WithFlight(fr *FlightRecorder) HandlerOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Query().Get("format") == "csv" {
+				w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+				_ = fr.WriteCSV(w)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = fr.WriteJSON(w)
+		})
+	}
+}
+
 // Handler returns an http.Handler exposing the sampler:
 //
 //	GET /metrics  Prometheus text format, latest point per series
 //	GET /series   JSON: {"series":[{"name":...,"points":[{"t","v","n"}]}]}
-func Handler(s *Sampler) http.Handler {
+//	GET /flight   flight-recorder ring (with WithFlight)
+func Handler(s *Sampler, opts ...HandlerOption) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -39,6 +61,9 @@ func Handler(s *Sampler) http.Handler {
 			Series []Series `json:"series"`
 		}{Series: s.Snapshot()})
 	})
+	for _, o := range opts {
+		o(mux)
+	}
 	return mux
 }
 

@@ -10,6 +10,7 @@ package telemetry
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -183,11 +184,27 @@ func RegistrySource(reg *core.Registry, reset bool) Source {
 	}
 }
 
-// Collector drives a Source into a Sampler at a fixed interval.
+// MinInterval is the floor for the collector's steady-state sampling
+// interval. Flight-recorder bursts may go below it (bounded by
+// FlightRecorder.BurstInterval's own floor).
+const MinInterval = time.Millisecond
+
+// Collector drives a Source into a Sampler. The interval can be changed
+// while running (SetInterval) — the budget controller's actuator — and
+// an attached FlightRecorder both receives every sampled batch and
+// overrides the interval to burst rate while a burst window is open.
 type Collector struct {
-	sampler  *Sampler
-	src      Source
-	interval time.Duration
+	sampler *Sampler
+	src     Source
+
+	interval atomic.Int64 // current steady-state interval, ns
+	kick     chan struct{}
+	flight   atomic.Pointer[FlightRecorder]
+
+	// sampleMu serializes pulls from the source: SampleOnce is public
+	// and may race the sampling loop, and sources reuse one value
+	// buffer across calls.
+	sampleMu sync.Mutex
 
 	mu   sync.Mutex
 	stop chan struct{}
@@ -195,26 +212,99 @@ type Collector struct {
 }
 
 // NewCollector creates a collector sampling src into s every interval
-// (minimum 10ms; 1s when interval <= 0).
+// (minimum MinInterval; 1s when interval <= 0).
 func NewCollector(s *Sampler, src Source, interval time.Duration) *Collector {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	if interval < 10*time.Millisecond {
-		interval = 10 * time.Millisecond
+	if interval < MinInterval {
+		interval = MinInterval
 	}
-	return &Collector{sampler: s, src: src, interval: interval}
+	c := &Collector{sampler: s, src: src, kick: make(chan struct{}, 1)}
+	c.interval.Store(int64(interval))
+	return c
 }
 
-// SampleOnce pulls one batch from the source immediately.
+// Interval returns the current steady-state sampling interval.
+func (c *Collector) Interval() time.Duration {
+	return time.Duration(c.interval.Load())
+}
+
+// SetInterval changes the sampling interval, effective immediately —
+// a running loop re-arms its timer rather than sleeping out the old
+// interval. Clamped to MinInterval.
+func (c *Collector) SetInterval(d time.Duration) {
+	if d < MinInterval {
+		d = MinInterval
+	}
+	c.interval.Store(int64(d))
+	c.kickLoop()
+}
+
+// EnableFlight attaches a flight recorder: every subsequent sample is
+// recorded into its ring, and while the recorder is bursting the loop
+// samples at burst rate. Pass nil to detach.
+func (c *Collector) EnableFlight(fr *FlightRecorder) {
+	c.flight.Store(fr)
+	c.kickLoop()
+}
+
+// Flight returns the attached flight recorder, or nil.
+func (c *Collector) Flight() *FlightRecorder { return c.flight.Load() }
+
+// TriggerFlight arms the attached recorder's burst and immediately
+// re-arms the sampling loop at burst rate (no waiting out the current
+// steady-state sleep). Reports whether the burst is capturing; false
+// with no recorder attached or while cooldown suppresses the trigger.
+func (c *Collector) TriggerFlight(reason string) bool {
+	fr := c.flight.Load()
+	if fr == nil {
+		return false
+	}
+	ok := fr.Trigger(reason)
+	if ok {
+		c.kickLoop()
+	}
+	return ok
+}
+
+// kickLoop wakes the sampling loop to re-evaluate its interval.
+func (c *Collector) kickLoop() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// effectiveInterval is what the loop actually sleeps: burst rate while
+// the flight recorder is in a burst window, the steady-state interval
+// otherwise.
+func (c *Collector) effectiveInterval() time.Duration {
+	d := time.Duration(c.interval.Load())
+	if fr := c.flight.Load(); fr != nil && fr.Bursting() {
+		return fr.BurstInterval(d)
+	}
+	return d
+}
+
+// SampleOnce pulls one batch from the source immediately, feeding the
+// sampler and (when attached) the flight recorder.
 func (c *Collector) SampleOnce() {
-	for _, v := range c.src() {
+	c.sampleMu.Lock()
+	vals := c.src()
+	for _, v := range vals {
 		c.sampler.ObserveValue(v)
 	}
+	if fr := c.flight.Load(); fr != nil {
+		fr.Record(time.Now(), vals)
+	}
+	c.sampleMu.Unlock()
 }
 
 // Start begins periodic sampling (idempotent). The first batch is
 // taken synchronously so the export plane is never empty after Start.
+// After a Stop, Start resumes into the same sampler — series and their
+// history are kept.
 func (c *Collector) Start() {
 	c.mu.Lock()
 	if c.stop != nil {
@@ -228,20 +318,31 @@ func (c *Collector) Start() {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		t := time.NewTicker(c.interval)
+		t := time.NewTimer(c.effectiveInterval())
 		defer t.Stop()
 		for {
 			select {
 			case <-stop:
 				return
+			case <-c.kick:
+				if !t.Stop() {
+					select {
+					case <-t.C:
+					default:
+					}
+				}
+				t.Reset(c.effectiveInterval())
 			case <-t.C:
 				c.SampleOnce()
+				t.Reset(c.effectiveInterval())
 			}
 		}
 	}()
 }
 
-// Stop ends periodic sampling (idempotent).
+// Stop ends periodic sampling (idempotent). It does not take the sample
+// lock, so it cannot deadlock against an in-flight SampleOnce; it
+// returns once the loop goroutine has exited.
 func (c *Collector) Stop() {
 	c.mu.Lock()
 	stop := c.stop

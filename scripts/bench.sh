@@ -24,6 +24,8 @@ TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
     go test -count=1 -run TestWriteBenchJSON -v ./internal/taskrt/
 TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
     go test -count=1 -run TestWriteBulkBenchJSON -v ./internal/parcel/
+TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
+    go test -count=1 -run TestWriteTelemetryBudgetJSON -v ./internal/telemetry/
 
 echo "== perf budget gate =="
 # Fails when the 1us-grain counter overhead exceeds 8% or the spawn+get

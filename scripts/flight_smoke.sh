@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke test: the anomaly-triggered capture path must
+# work end to end on a real binary. Run under a 120s timeout in CI:
+#
+#   timeout 120 bash scripts/flight_smoke.sh
+#
+# One inncabs run with fault injection (-inject-stall) and the telemetry
+# plane armed (-budget, -flight, -http), then three checks:
+#   1. The watchdog saw the injected stall and the flight recorder
+#      captured a burst: the dump carries the trigger reason on a frame,
+#      and the frames around the trigger arrive at >= 5x the base
+#      sampling cadence (the recorder escalates 10x; 5x is the smoke
+#      floor under CI scheduling noise).
+#   2. The dump file is valid JSON with the documented shape (frames,
+#      burst count, per-frame counter values).
+#   3. /flight on the live HTTP endpoint serves the same dump shape
+#      while the run is still going.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+WORK=$(mktemp -d)
+cleanup() {
+    rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+go build -o "$BIN" ./cmd/inncabs ./cmd/perfmon
+
+HTTP=127.0.0.1:${SMOKE_FLIGHT_PORT:-7319}
+DUMP="$WORK/flight.json"
+LOG="$WORK/run.log"
+BASE_MS=50
+
+# A healthy benchmark plus one injected 1.2s stall: the watchdog's
+# stalled_task event must flip the collector to burst rate. The stall
+# outlives the benchmark, which keeps the HTTP endpoint up long enough
+# to probe /flight mid-burst.
+"$BIN/inncabs" -bench fib -size test -samples 1 \
+    -budget 5 -flight -flight-dump "$DUMP" \
+    -telemetry-interval ${BASE_MS}ms -stall-threshold 200ms -inject-stall 1200ms \
+    -http "$HTTP" >"$LOG" 2>&1 &
+RUN=$!
+
+# --- 3. live /flight while the burst is (likely) open ------------------------
+LIVE="$WORK/flight_live.json"
+LIVE_OK=0
+for _ in $(seq 1 40); do
+    if curl -sf "http://$HTTP/flight" -o "$LIVE" 2>/dev/null \
+        && python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); sys.exit(0 if d.get("frames",0) > 0 else 1)' "$LIVE" 2>/dev/null
+    then LIVE_OK=1; break; fi
+    sleep 0.2
+done
+
+RC=0
+wait "$RUN" || RC=$?
+if [ "$RC" -ne 0 ]; then
+    echo "flight_smoke: FAIL — inncabs exited $RC"; cat "$LOG"; exit "$RC"
+fi
+grep -q "verification: OK" "$LOG" || {
+    echo "flight_smoke: FAIL — run did not verify"; cat "$LOG"; exit 1; }
+grep -q "inncabs: health: stalled_task" "$LOG" || {
+    echo "flight_smoke: FAIL — watchdog never reported the injected stall"; cat "$LOG"; exit 1; }
+if [ "$LIVE_OK" -ne 1 ]; then
+    echo "flight_smoke: FAIL — /flight endpoint never served a dump"; cat "$LOG"; exit 1
+fi
+echo "flight_smoke: live /flight OK"
+
+# --- 1 + 2. dump shape and burst cadence around the trigger ------------------
+python3 - "$DUMP" "$BASE_MS" <<'EOF'
+import json, sys
+from datetime import datetime
+
+d = json.load(open(sys.argv[1]))
+base_ms = float(sys.argv[2])
+frames = d["ring"]
+assert d["frames"] == len(frames) > 0, "empty flight ring"
+assert d["triggers"] >= 1, "no trigger recorded"
+
+trig = [f for f in frames if f.get("trigger")]
+assert len(trig) >= 1, "no frame carries the trigger reason"
+assert "stalled_task" in trig[0]["trigger"], f"unexpected trigger: {trig[0]['trigger']}"
+
+burst = [f for f in frames if f.get("burst")]
+assert d["burst_frames"] == len(burst), "burst count disagrees with frames"
+assert len(burst) >= 5, f"only {len(burst)} burst frames captured"
+
+def ts(f):
+    return datetime.fromisoformat(f["t"].replace("Z", "+00:00")).timestamp()
+
+# Burst cadence: mean spacing of the burst frames must beat the base
+# interval by >= 5x (configured escalation is 10x).
+times = sorted(ts(f) for f in burst)
+spacing_ms = 1000 * (times[-1] - times[0]) / (len(times) - 1)
+assert spacing_ms <= base_ms / 5, \
+    f"burst cadence {spacing_ms:.1f}ms not >=5x faster than base {base_ms}ms"
+
+# The burst brackets the trigger: the trigger frame sits inside the
+# captured window, with context on both sides.
+t_trig = ts(trig[0])
+assert ts(frames[0]) <= t_trig <= ts(frames[-1]), "trigger outside captured window"
+
+# Frames carry real counter values.
+assert frames[-1]["values"], "frames carry no counter values"
+names = {v["name"] for v in frames[-1]["values"]}
+assert any("/threads{" in n for n in names), f"no thread counters in frames: {names}"
+
+print(f"flight_smoke: dump OK ({d['frames']} frames, {len(burst)} burst, "
+      f"cadence {spacing_ms:.1f}ms vs base {base_ms:.0f}ms, "
+      f"trigger: {trig[0]['trigger']!r})")
+EOF
+
+echo "flight_smoke: OK"
