@@ -6,14 +6,23 @@
 //
 // With -discover PATTERN it expands a (wildcarded) counter name into the
 // matching concrete instances instead.
+//
+// With -tree it builds a small simulated aggregation overlay (-tree-n
+// localities, arity -tree-fanout), runs one fold round and prints the
+// resulting topology: every rank's depth, parent and attached children
+// with per-subtree freshness — the operator's view of the structure
+// behind /agas{...}/tree/* counters.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/agas"
+	"repro/internal/agas/tree"
 	"repro/internal/hwsim"
 	"repro/internal/inncabs"
 	"repro/internal/machine"
@@ -24,10 +33,26 @@ import (
 
 func main() {
 	var (
-		threads  = flag.Int("threads", 2, "worker threads of the sample runtime")
-		discover = flag.String("discover", "", "expand a counter pattern into matching instances")
+		threads    = flag.Int("threads", 2, "worker threads of the sample runtime")
+		discover   = flag.String("discover", "", "expand a counter pattern into matching instances")
+		treeMode   = flag.Bool("tree", false, "print the topology of a simulated aggregation overlay")
+		treeN      = flag.Int("tree-n", 21, "with -tree: number of simulated localities")
+		treeFanout = flag.Int("tree-fanout", 4, "with -tree: overlay arity k")
 	)
 	flag.Parse()
+
+	if *treeMode {
+		f, err := tree.NewFleet(tree.FleetConfig{N: *treeN, Fanout: *treeFanout})
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Tick(context.Background()); err != nil {
+			fatal(err)
+		}
+		f.PrintTopology(os.Stdout, time.Now())
+		return
+	}
 
 	loc := agas.NewLocality(0, "counterls")
 	reg := loc.Registry()

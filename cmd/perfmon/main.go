@@ -21,6 +21,12 @@
 //	perfmon -addr 127.0.0.1:7110 -counter '/threads{locality#0/total}/idle-rate' -interval 1s -n 10
 //	perfmon -addr 127.0.0.1:7110 -counter <a> -counter <b> -counter <c> -interval 1s -n 60
 //	perfmon -addr 127.0.0.1:7110 -spawn compute -arg '{"n":32}' -deadline 5s
+//	perfmon -tree -fleet 10000 -fanout 8 -n 5 -interval 1s -http 127.0.0.1:9090
+//
+// -tree switches from polling one target to watching a whole simulated
+// fleet through the hierarchical aggregation overlay: only the root is
+// read, so the per-tick monitoring cost is bounded by the fanout, not
+// the fleet size. See docs/COUNTERS.md, "Aggregation trees".
 package main
 
 import (
@@ -87,6 +93,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		spawn    = fs.String("spawn", "", "run this remote action through the fault-tolerant spawn plane and print its JSON result")
 		arg      = fs.String("arg", "", "JSON argument for -spawn")
 
+		treeMode = fs.Bool("tree", false, "watch a simulated fleet through the hierarchical aggregation overlay (reads only the root; no -addr target needed)")
+		fleetN   = fs.Int("fleet", 10000, "with -tree: number of simulated localities")
+		fanout   = fs.Int("fanout", 8, "with -tree: overlay arity k")
+		treeWire = fs.Int("tree-wire", 4, "with -tree: deepest leaves attached through real loopback parcel servers")
+
 		budgetPct  = fs.Float64("budget", 0, "sampling overhead budget, percent of one core spent evaluating remote counters; the loop auto-stretches its interval to stay inside it (0 = off)")
 		flightOn   = fs.Bool("flight", false, "arm the flight recorder: a watchdog stall episode flips the loop to high-rate capture over a pre-allocated ring (served at /flight with -http)")
 		flightDump = fs.String("flight-dump", "", "write the flight-recorder ring as JSON to this file when the loop ends (implies -flight; \"-\" = stdout)")
@@ -94,6 +105,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.Var(&counters, "counter", "remote counter to read (repeatable; all sampled in one exchange)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+
+	if *treeMode {
+		// The overlay is its own target: no parcel dial, the root is in
+		// this process (with -tree-wire leaves behind real loopback
+		// servers underneath).
+		return runTree(treeOptions{
+			fleet: *fleetN, fanout: *fanout, wire: *treeWire,
+			interval: *interval, n: *n, httpAddr: *httpAddr, deadline: *deadline,
+		}, stdout, stderr)
 	}
 
 	opts := parcel.ClientOptions{

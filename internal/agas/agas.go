@@ -305,8 +305,18 @@ func (r *Resolver) EvaluateCounter(fullName string, reset bool) (core.Value, err
 // Names owned by a bulk-capable remote (BulkProvider) are grouped and
 // sampled in one exchange per locality; everything else takes the
 // per-name path. Results keep input order either way.
+//
+// Repeated full names (same spelling) are de-duplicated before routing:
+// the counter is evaluated once and the result fanned out to every
+// occurrence, so one careless caller cannot double-charge the bulk wire
+// — or, with reset, read-and-reset the same counter twice in one batch.
 func (r *Resolver) EvaluateAcross(fullNames []string, reset bool) []core.Value {
 	out := make([]core.Value, len(fullNames))
+
+	// firstIdx maps each distinct name to its first occurrence; dupsOf
+	// collects the later occurrences to copy into after evaluation.
+	firstIdx := make(map[string]int, len(fullNames))
+	var dupsOf map[int][]int
 
 	// Group names by bulk-capable remote locality; indices not routable
 	// that way fall through to the per-name path below.
@@ -318,6 +328,14 @@ func (r *Resolver) EvaluateAcross(fullNames []string, reset bool) []core.Value {
 	groups := make(map[int64]*group)
 	var rest []int
 	for i, name := range fullNames {
+		if j, seen := firstIdx[name]; seen {
+			if dupsOf == nil {
+				dupsOf = make(map[int][]int)
+			}
+			dupsOf[j] = append(dupsOf[j], i)
+			continue
+		}
+		firstIdx[name] = i
 		id, bp, ok := r.bulkRouteFor(name)
 		if !ok {
 			rest = append(rest, i)
@@ -360,6 +378,12 @@ func (r *Resolver) EvaluateAcross(fullNames []string, reset bool) []core.Value {
 			}
 		}
 		out[i] = v
+	}
+
+	for j, idxs := range dupsOf {
+		for _, i := range idxs {
+			out[i] = out[j]
+		}
 	}
 	return out
 }

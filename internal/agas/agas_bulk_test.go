@@ -160,3 +160,65 @@ func TestEvaluateAcrossBulkGapsAndHealth(t *testing.T) {
 		t.Fatalf("health after unknown gap = %+v", h)
 	}
 }
+
+func TestEvaluateAcrossDeduplicatesNames(t *testing.T) {
+	r := NewResolver()
+
+	// Local counter with destructive (reset) read semantics: if duplicates
+	// were evaluated independently, the second read would see 0.
+	l0 := NewLocality(0, "local")
+	if err := r.Bind(l0); err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewRawCounter(
+		core.Name{Object: "threads", Counter: "count/cumulative"}.
+			WithInstances(core.LocalityInstance(0, "total", -1)...),
+		core.Info{TypeName: "/threads/count/cumulative"})
+	l0.Registry().MustRegister(c)
+	c.Add(5)
+
+	bp := &bulkProvider{flakyProvider: flakyProvider{v: core.Value{Raw: 9, Status: core.StatusValid}}}
+	if err := r.BindRemote(2, bp); err != nil {
+		t.Fatal(err)
+	}
+
+	local := "/threads{locality#0/total}/count/cumulative"
+	remote := "/threads{locality#2/total}/count/cumulative"
+	names := []string{remote, local, remote, remote, local}
+	vals := r.EvaluateAcross(names, true)
+
+	// The bulk wire carried the remote name exactly once.
+	if bp.bulkCalls != 1 {
+		t.Fatalf("bulk remote called %d times, want 1", bp.bulkCalls)
+	}
+	if len(bp.lastNames) != 1 || bp.lastNames[0] != remote {
+		t.Fatalf("bulk call carried %v, want exactly [%s]", bp.lastNames, remote)
+	}
+
+	// Every occurrence got the single evaluation's result — including the
+	// duplicates of the reset local read, which must not observe the reset.
+	for _, i := range []int{0, 2, 3} {
+		if vals[i].Raw != 9 || !vals[i].Valid() {
+			t.Fatalf("remote slot %d = %+v", i, vals[i])
+		}
+	}
+	for _, i := range []int{1, 4} {
+		if vals[i].Raw != 5 || !vals[i].Valid() {
+			t.Fatalf("local slot %d = %+v (duplicate observed the reset?)", i, vals[i])
+		}
+	}
+	for i, v := range vals {
+		if v.Name != names[i] {
+			t.Fatalf("result %d is %q, want %q (order lost)", i, v.Name, names[i])
+		}
+	}
+	// One reset applied exactly once.
+	if c.Load() != 0 {
+		t.Fatal("reset did not apply")
+	}
+	// Health charged one success for the one exchange, not three.
+	h, _ := r.Health(2)
+	if h.Successes != 1 {
+		t.Fatalf("bulk health = %+v, want exactly 1 success", h)
+	}
+}

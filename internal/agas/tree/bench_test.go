@@ -1,0 +1,179 @@
+package tree
+
+// Fleet-scale aggregation benchmark: per-tick cost at the ROOT of the
+// overlay versus a flat O(n) sweep of the same counters, at n = 10,
+// 100, 1k and 10k simulated localities. The root's work is bounded by
+// its fanout — fold k child digests plus one local sample — so its cost
+// must stay flat while the baseline grows linearly; that gap is the
+// whole point of the tree. TestWriteTreeBenchJSON persists the numbers
+// into BENCH_taskrt.json (section "aggregation_tree") via
+// scripts/bench.sh.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+var treeBenchSizes = []int{10, 100, 1000, 10000}
+
+// rootTickNs measures the root's steady-state per-tick cost: every
+// child digest is already held (one full warm round ran), so this is
+// the pure fold-and-publish path the root pays each round regardless of
+// fleet size.
+func rootTickNs(tb testing.TB, f *Fleet, reps int) float64 {
+	tb.Helper()
+	ctx := context.Background()
+	if _, err := f.Tick(ctx); err != nil {
+		tb.Fatal(err)
+	}
+	begin := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := f.Root().Tick(ctx); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return float64(time.Since(begin).Nanoseconds()) / float64(reps)
+}
+
+// flatSweepNs measures the O(n) baseline the tree replaces: one bound
+// batch over every locality's counters in the shared registry.
+func flatSweepNs(tb testing.TB, f *Fleet, reps int) float64 {
+	tb.Helper()
+	names := make([]string, 0, len(f.Nodes)*len(FleetCounters))
+	for _, n := range f.Nodes {
+		for _, tp := range FleetCounters {
+			full, err := core.LocalityFullName(tp, n.loc)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			names = append(names, full)
+		}
+	}
+	set := f.Reg.BindSetLenient(names)
+	var buf []core.Value
+	buf = set.EvaluateBatch(buf, false) // warm
+	begin := time.Now()
+	for i := 0; i < reps; i++ {
+		buf = set.EvaluateBatch(buf, false)
+	}
+	_ = buf
+	return float64(time.Since(begin).Nanoseconds()) / float64(reps)
+}
+
+func BenchmarkRootTick(b *testing.B) {
+	for _, n := range treeBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f, err := NewFleet(FleetConfig{N: n, Fanout: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			ctx := context.Background()
+			if _, err := f.Tick(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Root().Tick(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// treeBenchPoint is one row of the "aggregation_tree" BENCH section.
+type treeBenchPoint struct {
+	N                int     `json:"n_localities"`
+	Fanout           int     `json:"fanout"`
+	Depth            int     `json:"depth"`
+	RootTickNs       float64 `json:"root_tick_ns"`
+	FlatSweepNs      float64 `json:"flat_sweep_ns"`
+	RootChildren     int     `json:"root_children"`
+	FoldedLoc        int     `json:"folded_localities"`
+	DigestEntries    int     `json:"digest_entries"`
+	HistObservations int64   `json:"hist_observations"`
+}
+
+type treeBenchReport struct {
+	GeneratedBy string           `json:"generated_by"`
+	CPU         string           `json:"cpu"`
+	Note        string           `json:"note"`
+	Points      []treeBenchPoint `json:"points"`
+}
+
+// TestWriteTreeBenchJSON merges the aggregation-tree numbers into the
+// "aggregation_tree" section of BENCH_taskrt.json (path in
+// TASKRT_BENCH_JSON), preserving all other sections. Driven by
+// scripts/bench.sh; skipped otherwise.
+func TestWriteTreeBenchJSON(t *testing.T) {
+	path := os.Getenv("TASKRT_BENCH_JSON")
+	if path == "" {
+		t.Skip("set TASKRT_BENCH_JSON=<path> to record the aggregation-tree benchmark")
+	}
+	rep := treeBenchReport{
+		GeneratedBy: "go test -run TestWriteTreeBenchJSON (scripts/bench.sh)",
+		CPU:         runtime.GOARCH,
+		Note: "root_tick_ns is the root's steady-state fold+publish cost " +
+			"(bounded by fanout, not fleet size); flat_sweep_ns is the O(n) " +
+			"monitor it replaces",
+	}
+	const fanout = 8
+	for _, n := range treeBenchSizes {
+		f, err := NewFleet(FleetConfig{N: n, Fanout: fanout})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := 200
+		if n >= 10000 {
+			reps = 50
+		}
+		rootNs := rootTickNs(t, f, reps)
+		flatNs := flatSweepNs(t, f, reps)
+		snap, err := f.Root().TreeSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var histN int64
+		for _, e := range snap.Entries {
+			if e.Hist != nil {
+				histN += e.Hist.N
+			}
+		}
+		rootChildren := len(f.Root().children)
+		f.Close()
+		rep.Points = append(rep.Points, treeBenchPoint{
+			N: n, Fanout: fanout, Depth: snap.Depth,
+			RootTickNs: rootNs, FlatSweepNs: flatNs,
+			RootChildren: rootChildren, FoldedLoc: snap.Localities,
+			DigestEntries: len(snap.Entries), HistObservations: histN,
+		})
+		t.Logf("n=%d: root tick %.0f ns (children %d, depth %d), flat sweep %.0f ns",
+			n, rootNs, rootChildren, snap.Depth, flatNs)
+	}
+
+	doc := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(prev, &doc)
+	}
+	cur, err := json.MarshalIndent(rep, "  ", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc["aggregation_tree"] = cur
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

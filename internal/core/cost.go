@@ -1,5 +1,7 @@
 package core
 
+import "sync/atomic"
+
 // Sampling-cost self-observation: the registry meters the wall cost of
 // its own evaluation sweeps, so the monitoring plane can observe — and
 // budget — what observation itself costs. This is the measurement the
@@ -133,6 +135,74 @@ var (
 	_ Quantiler = (*evalCostCounter)(nil)
 	_ Counter   = (*perCounterCostCounter)(nil)
 )
+
+// ---------------------------------------------------------------------------
+// Per-handle cost attribution (optional).
+//
+// The sweep meters above answer "what does sampling cost"; they cannot
+// answer "which counter costs it". EnableCostMetering arms a BindSet
+// with a per-handle EWMA of evaluation cost, paid for with one extra
+// clock read per counter per sweep (the clock reads are chained), so the
+// budget controller can demote the single expensive counter instead of a
+// whole tier (telemetry.BudgetController.ShedCounter).
+
+// costEWMAShift sets the EWMA smoothing: each sample moves the estimate
+// by 1/2^costEWMAShift of the error, so one slow outlier cannot demote a
+// normally-cheap counter.
+const costEWMAShift = 3
+
+// ewmaUpdate folds one cost sample into an atomic EWMA cell. The first
+// sample seeds the estimate directly. Lost updates under a concurrent
+// write are acceptable: the estimate re-converges on the next sweep.
+func ewmaUpdate(a *atomic.Int64, sample int64) {
+	if sample < 0 {
+		sample = 0
+	}
+	old := a.Load()
+	if old == 0 {
+		a.Store(sample | 1) // |1 so a zero-cost first sample still marks "seeded"
+		return
+	}
+	a.Store(old + (sample-old)>>costEWMAShift)
+}
+
+// EnableCostMetering arms per-handle cost attribution on the set: every
+// subsequent EvaluateBatch updates an EWMA of each handle's evaluation
+// cost, readable via CostNs. Idempotent.
+func (s *BindSet) EnableCostMetering() {
+	if s.costNs == nil && len(s.handles) > 0 {
+		s.costNs = make([]atomic.Int64, len(s.handles))
+	}
+}
+
+// CostNs returns the EWMA evaluation cost of the i-th handle in
+// nanoseconds, or 0 when attribution is off or no sweep has run yet.
+func (s *BindSet) CostNs(i int) int64 {
+	if s.costNs == nil || i < 0 || i >= len(s.costNs) {
+		return 0
+	}
+	return s.costNs[i].Load()
+}
+
+// MostExpensive returns the index and EWMA cost of the costliest handle
+// with attribution data, skipping indices for which skip returns true
+// (nil = skip none). Returns index -1 when no handle qualifies — before
+// the first metered sweep, or with attribution off.
+func (s *BindSet) MostExpensive(skip func(i int) bool) (int, int64) {
+	best, bestNs := -1, int64(0)
+	if s.costNs == nil {
+		return best, bestNs
+	}
+	for i := range s.costNs {
+		if skip != nil && skip(i) {
+			continue
+		}
+		if ns := s.costNs[i].Load(); ns > bestNs {
+			best, bestNs = i, ns
+		}
+	}
+	return best, bestNs
+}
 
 // registerEvalCost registers the two sampling-cost self-counters; called
 // from NewRegistry.

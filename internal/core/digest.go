@@ -1,0 +1,213 @@
+package core
+
+// Aggregation digests: the per-counter fold an aggregation-tree node
+// (internal/agas/tree) reports for its whole subtree. A Digest is keyed
+// by a counter name whose locality index is wildcarded — every locality's
+// /threads{locality#N/total}/idle-rate folds into one
+// /threads{locality#*/total}/idle-rate entry — and carries the moments a
+// reduction can maintain without seeing individual samples again:
+// sum/min/max/count (avg is derived), the event count, how many folded
+// samples were stale, and optionally the merged value distribution for
+// histogram-backed counters, so the tree root can answer fleet-wide
+// quantiles exactly as a single locality answers its own.
+//
+// Digests are associative and commutative under Merge, which is what
+// makes the k-ary reduction correct regardless of tree shape: folding
+// children {A,B} then C equals folding {A,C} then B.
+
+import "time"
+
+// Digest is one counter's aggregate over a subtree of localities.
+type Digest struct {
+	// Key is the counter name with the locality index wildcarded, e.g.
+	// /threads{locality#*/total}/idle-rate.
+	Key string `json:"key"`
+	// Sum, Min and Max are over the folded per-locality values
+	// (Value.Float64 — scaling applied).
+	Sum float64 `json:"sum"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Count is the number of per-locality samples folded in.
+	Count int64 `json:"count"`
+	// Events sums the folded samples' Value.Count fields (observations
+	// behind averages, parcels behind parcel counters, ...).
+	Events int64 `json:"events,omitempty"`
+	// Stale counts folded samples that were StatusStale — cached
+	// last-known readings from localities that missed a round. The
+	// StatusStale composition rule: a digest is served stale only when
+	// *everything* under it is stale (Stale == Count); anything fresher
+	// makes it a partial-but-live aggregate.
+	Stale int64 `json:"stale,omitempty"`
+	// Hist is the merged value distribution for histogram-backed
+	// counters, enabling fleet-wide quantiles at the root. Counts are
+	// trailing-zero trimmed on the wire (HistogramSnapshot.Compact);
+	// Merge accepts mismatched lengths.
+	Hist *HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// FoldValue folds one locality's sample into the digest. Only values
+// that carry data fold — valid, new-data and stale ones; unknown and
+// invalid samples are gaps and leave the digest untouched. Reports
+// whether the value was folded.
+func (d *Digest) FoldValue(v Value) bool {
+	switch v.Status {
+	case StatusValid, StatusNewData, StatusStale:
+	default:
+		return false
+	}
+	f := v.Float64()
+	if d.Count == 0 {
+		d.Min, d.Max = f, f
+	} else {
+		if f < d.Min {
+			d.Min = f
+		}
+		if f > d.Max {
+			d.Max = f
+		}
+	}
+	d.Sum += f
+	d.Count++
+	d.Events += v.Count
+	if v.Status == StatusStale {
+		d.Stale++
+	}
+	return true
+}
+
+// Merge folds another digest (a child subtree's aggregate for the same
+// key) into d. Merge is commutative and associative; an empty operand
+// is a no-op.
+func (d *Digest) Merge(o Digest) {
+	if o.Count == 0 && o.Hist == nil {
+		return
+	}
+	if o.Count > 0 {
+		if d.Count == 0 {
+			d.Min, d.Max = o.Min, o.Max
+		} else {
+			if o.Min < d.Min {
+				d.Min = o.Min
+			}
+			if o.Max > d.Max {
+				d.Max = o.Max
+			}
+		}
+		d.Sum += o.Sum
+		d.Count += o.Count
+		d.Events += o.Events
+		d.Stale += o.Stale
+	}
+	if o.Hist != nil {
+		// Merge into a fresh snapshot rather than in place: Digest is
+		// copied by value through fold pipelines, and mutating a shared
+		// *HistogramSnapshot would corrupt the operand digest.
+		var merged HistogramSnapshot
+		if d.Hist != nil {
+			merged.Merge(*d.Hist)
+		}
+		merged.Merge(*o.Hist)
+		d.Hist = &merged
+	}
+}
+
+// MarkStale reclassifies every folded sample as stale — applied by a
+// parent when the child that reported this digest has itself missed a
+// round, so the whole subtree's data is last-known rather than current.
+func (d *Digest) MarkStale() { d.Stale = d.Count }
+
+// Avg returns the mean of the folded values (0 when empty).
+func (d Digest) Avg() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+// AllStale reports the StatusStale composition outcome: true when every
+// folded sample under the digest is stale.
+func (d Digest) AllStale() bool { return d.Count > 0 && d.Stale == d.Count }
+
+// Values renders the digest as exported counter values, appended to dst:
+// one value per statistic, named by the digest key with the statistic as
+// a trailing parameter (…@sum, @avg, @min, @max, @count, and @stale when
+// any folded sample was stale), so the existing /metrics and /series
+// handlers export them with a distinguishing params label. Fractional
+// statistics use the arithmetics plane's fixed-point convention
+// (raw = value×statScale, scaling = statScale). Values are StatusStale
+// only under the composition rule (AllStale); a partially-stale
+// aggregate stays valid and reports its stale share in @stale.
+func (d Digest) Values(at time.Time, dst []Value) []Value {
+	n, err := ParseName(d.Key)
+	if err != nil {
+		return dst
+	}
+	status := StatusValid
+	if d.AllStale() {
+		status = StatusStale
+	}
+	stat := func(param string, raw, scaling int64) Value {
+		sn := n
+		if sn.Parameters != "" {
+			sn.Parameters += "," + param
+		} else {
+			sn.Parameters = param
+		}
+		return Value{
+			Name: sn.String(), Raw: raw, Scaling: scaling,
+			Count: d.Count, Time: at, Status: status,
+		}
+	}
+	fixed := func(param string, v float64) Value {
+		return stat(param, int64(v*statScale), statScale)
+	}
+	dst = append(dst,
+		fixed("sum", d.Sum),
+		fixed("avg", d.Avg()),
+		fixed("min", d.Min),
+		fixed("max", d.Max),
+		stat("count", d.Count, 0),
+	)
+	if d.Stale > 0 {
+		dst = append(dst, stat("stale", d.Stale, 0))
+	}
+	return dst
+}
+
+// WildcardLocality rewrites a full counter name's leading locality#N
+// instance to the locality#* wildcard — the canonical digest key, under
+// which every locality's instance of one counter folds together.
+func WildcardLocality(fullName string) string {
+	n, err := ParseName(fullName)
+	if err != nil {
+		return fullName
+	}
+	if len(n.Instances) == 0 || n.Instances[0].Name != "locality" {
+		return fullName
+	}
+	n.Instances[0].Wildcard = true
+	n.Instances[0].HasIndex = true
+	n.Instances[0].Index = 0
+	return n.String()
+}
+
+// LocalityFullName builds the concrete per-locality instance name for a
+// counter type path ("/threads/idle-rate") under the conventional
+// {locality#loc/total} instance — the name an aggregation-tree node
+// binds locally for the type paths it is configured to sample.
+func LocalityFullName(typePath string, loc int64) (string, error) {
+	n, err := ParseName(typePath)
+	if err != nil {
+		return "", err
+	}
+	full := n.WithInstances(LocalityInstance(loc, "total", -1)...)
+	return full.String(), nil
+}
+
+// DistributionSnapshotter is implemented by counters that can hand out a
+// mergeable copy of their underlying value distribution. The aggregation
+// tree uses it to carry full histograms upward, so quantiles survive the
+// reduction instead of degrading to means.
+type DistributionSnapshotter interface {
+	HistogramSnapshot() HistogramSnapshot
+}

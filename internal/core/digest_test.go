@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func dv(raw int64, status Status) Value {
+	return Value{Raw: raw, Status: status, Count: 1}
+}
+
+func TestDigestFoldValue(t *testing.T) {
+	var d Digest
+	if d.FoldValue(Value{Status: StatusCounterUnknown}) {
+		t.Fatal("unknown value folded")
+	}
+	if d.FoldValue(Value{Status: StatusInvalidData}) {
+		t.Fatal("invalid value folded")
+	}
+	if d.Count != 0 {
+		t.Fatalf("gaps changed the digest: %+v", d)
+	}
+	for _, raw := range []int64{5, 1, 9} {
+		if !d.FoldValue(dv(raw, StatusValid)) {
+			t.Fatalf("valid value %d not folded", raw)
+		}
+	}
+	if !d.FoldValue(dv(3, StatusStale)) {
+		t.Fatal("stale value not folded")
+	}
+	if d.Count != 4 || d.Sum != 18 || d.Min != 1 || d.Max != 9 || d.Stale != 1 || d.Events != 4 {
+		t.Fatalf("digest = %+v", d)
+	}
+	if d.Avg() != 4.5 {
+		t.Fatalf("avg = %g", d.Avg())
+	}
+	if d.AllStale() {
+		t.Fatal("partially-stale digest reported AllStale")
+	}
+}
+
+// TestDigestMergeCommutesAssociates is the correctness property the
+// k-ary reduction rests on: fold order must not matter.
+func TestDigestMergeCommutesAssociates(t *testing.T) {
+	mk := func(vals ...int64) Digest {
+		var d Digest
+		for _, v := range vals {
+			d.FoldValue(dv(v, StatusValid))
+		}
+		h := &Histogram{}
+		for _, v := range vals {
+			h.Record(v)
+		}
+		s := h.Snapshot().Compact()
+		d.Hist = &s
+		return d
+	}
+	a, b, c := mk(1, 7), mk(3), mk(10, 2, 5)
+
+	ab := a
+	ab.Merge(b)
+	ab.Merge(c)
+
+	cb := c
+	cb.Merge(b)
+	cb.Merge(a)
+
+	bc := b
+	bc.Merge(c)
+	ba := a
+	ba.Merge(bc)
+
+	for _, got := range []Digest{cb, ba} {
+		if got.Sum != ab.Sum || got.Min != ab.Min || got.Max != ab.Max ||
+			got.Count != ab.Count || got.Events != ab.Events {
+			t.Fatalf("merge order changed moments: %+v vs %+v", got, ab)
+		}
+		if got.Hist.N != ab.Hist.N || got.Hist.Sum != ab.Hist.Sum {
+			t.Fatalf("merge order changed histogram totals: %+v vs %+v", got.Hist, ab.Hist)
+		}
+	}
+	if ab.Count != 6 || ab.Min != 1 || ab.Max != 10 || ab.Sum != 28 {
+		t.Fatalf("merged digest = %+v", ab)
+	}
+}
+
+func TestDigestMarkStaleComposition(t *testing.T) {
+	var child Digest
+	child.FoldValue(dv(4, StatusValid))
+	child.FoldValue(dv(6, StatusValid))
+	child.MarkStale()
+	if !child.AllStale() {
+		t.Fatalf("MarkStale left digest fresh: %+v", child)
+	}
+
+	var parent Digest
+	parent.FoldValue(dv(1, StatusValid))
+	parent.Merge(child)
+	if parent.Stale != 2 || parent.Count != 3 {
+		t.Fatalf("stale accounting after merge: %+v", parent)
+	}
+	if parent.AllStale() {
+		t.Fatal("fresh local sample did not override AllStale")
+	}
+}
+
+func TestDigestValuesExport(t *testing.T) {
+	d := Digest{Key: "/threads{locality#*/total}/idle-rate"}
+	d.FoldValue(dv(10, StatusValid))
+	d.FoldValue(dv(20, StatusStale))
+	at := time.Unix(100, 0)
+	vals := d.Values(at, nil)
+	if len(vals) != 6 {
+		t.Fatalf("got %d exported values: %+v", len(vals), vals)
+	}
+	byParam := map[string]Value{}
+	for _, v := range vals {
+		n, err := ParseName(v.Name)
+		if err != nil {
+			t.Fatalf("exported name %q does not parse: %v", v.Name, err)
+		}
+		if n.Instances[0].Name != "locality" || !n.Instances[0].Wildcard {
+			t.Fatalf("exported name %q lost the locality wildcard", v.Name)
+		}
+		byParam[n.Parameters] = v
+	}
+	if got := byParam["sum"].Float64(); got != 30 {
+		t.Fatalf("sum = %g", got)
+	}
+	if got := byParam["avg"].Float64(); got != 15 {
+		t.Fatalf("avg = %g", got)
+	}
+	if got := byParam["min"].Float64(); got != 10 {
+		t.Fatalf("min = %g", got)
+	}
+	if got := byParam["max"].Float64(); got != 20 {
+		t.Fatalf("max = %g", got)
+	}
+	if got := byParam["count"]; got.Raw != 2 {
+		t.Fatalf("count = %+v", got)
+	}
+	if got := byParam["stale"]; got.Raw != 1 {
+		t.Fatalf("stale = %+v", got)
+	}
+	// Partially stale → still served valid (composition rule).
+	if byParam["sum"].Status != StatusValid {
+		t.Fatalf("partially-stale aggregate status = %s", byParam["sum"].Status)
+	}
+
+	d.MarkStale()
+	for _, v := range d.Values(at, nil) {
+		if v.Status != StatusStale {
+			t.Fatalf("all-stale aggregate exported %s as %s", v.Name, v.Status)
+		}
+	}
+}
+
+func TestDigestJSONRoundTrip(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	snap := h.Snapshot().Compact()
+	d := Digest{Key: "/threads{locality#*/total}/time/average",
+		Sum: 1.5, Min: 0.5, Max: 1, Count: 2, Events: 7, Stale: 1, Hist: &snap}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Digest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sum != d.Sum || back.Count != d.Count || back.Stale != d.Stale {
+		t.Fatalf("round trip changed digest: %+v", back)
+	}
+	if back.Hist == nil || back.Hist.N != 100 {
+		t.Fatalf("round trip lost histogram: %+v", back.Hist)
+	}
+	q, ok := back.Hist.Quantile(0.5)
+	if !ok || math.Abs(float64(q)-50_000) > 0.07*50_000 {
+		t.Fatalf("median after round trip = %d", q)
+	}
+}
+
+func TestWildcardLocality(t *testing.T) {
+	got := WildcardLocality("/threads{locality#17/total}/idle-rate")
+	if got != "/threads{locality#*/total}/idle-rate" {
+		t.Fatalf("wildcarded = %q", got)
+	}
+	// Names without a locality prefix pass through untouched.
+	if got := WildcardLocality("/threads/idle-rate"); got != "/threads/idle-rate" {
+		t.Fatalf("type path mangled: %q", got)
+	}
+	if got := WildcardLocality("not-a-name"); got != "not-a-name" {
+		t.Fatalf("unparsable name mangled: %q", got)
+	}
+}
+
+func TestLocalityFullName(t *testing.T) {
+	got, err := LocalityFullName("/threads/idle-rate", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "/threads{locality#12/total}/idle-rate" {
+		t.Fatalf("full name = %q", got)
+	}
+	if _, err := LocalityFullName("garbage", 0); err == nil {
+		t.Fatal("bad type path accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Handle is a compiled counter reference: the name is parsed and the
 // instance resolved once at Bind time, so Evaluate is a direct interface
@@ -57,6 +60,12 @@ func (h Handle) Evaluate(reset bool) Value {
 type BindSet struct {
 	handles []Handle
 	names   []string
+
+	// costNs, when non-nil (EnableCostMetering), holds a per-handle EWMA
+	// of evaluation cost in nanoseconds — the attribution the budgeted
+	// sampler uses to demote the one expensive counter instead of its
+	// whole tier (cost.go).
+	costNs []atomic.Int64
 }
 
 // BindSet compiles a list of full counter names into a BindSet. Every
@@ -132,6 +141,24 @@ func (s *BindSet) EvaluateBatch(dst []Value, reset bool) []Value {
 		dst = dst[:len(s.handles)]
 	}
 	start := now()
+	if s.costNs != nil {
+		// Per-handle attribution: clock reads are chained (each slot's
+		// end is the next slot's start), so the whole sweep pays one
+		// extra clock read per counter, not two.
+		prev := start
+		for i := range s.handles {
+			dst[i] = s.handles[i].Evaluate(reset)
+			t := now()
+			ewmaUpdate(&s.costNs[i], t.Sub(prev).Nanoseconds())
+			prev = t
+		}
+		if len(s.handles) > 0 {
+			if r := s.handles[0].r; r != nil {
+				r.noteEvalCost(prev.Sub(start).Nanoseconds(), len(s.handles))
+			}
+		}
+		return dst
+	}
 	for i := range s.handles {
 		dst[i] = s.handles[i].Evaluate(reset)
 	}

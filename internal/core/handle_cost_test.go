@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBindSetCostAttribution plants one deliberately slow counter among
+// cheap ones and checks the per-handle EWMA singles it out.
+func TestBindSetCostAttribution(t *testing.T) {
+	r := NewRegistry()
+	mk := func(name string, slow bool) string {
+		n := Name{Object: "threads", Counter: "count/" + name}.
+			WithInstances(LocalityInstance(0, "total", -1)...)
+		var fn func() int64
+		if slow {
+			fn = func() int64 { time.Sleep(200 * time.Microsecond); return 1 }
+		} else {
+			fn = func() int64 { return 1 }
+		}
+		c := NewFuncCounter(n, Info{TypeName: "/threads/count/" + name}, 0, fn, nil)
+		r.MustRegister(c)
+		return n.String()
+	}
+	names := []string{mk("a", false), mk("b", true), mk("c", false)}
+	set, err := r.BindSet(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attribution off: no data, MostExpensive abstains.
+	set.EvaluateBatch(nil, false)
+	if i, _ := set.MostExpensive(nil); i != -1 {
+		t.Fatalf("unmetered set attributed cost to %d", i)
+	}
+	if set.CostNs(1) != 0 {
+		t.Fatal("unmetered set reported a cost")
+	}
+
+	set.EnableCostMetering()
+	var buf []Value
+	for i := 0; i < 8; i++ {
+		buf = set.EvaluateBatch(buf, false)
+	}
+	i, ns := set.MostExpensive(nil)
+	if i != 1 {
+		t.Fatalf("most expensive = handle %d (%d ns), want the slow one", i, ns)
+	}
+	if ns < 100_000 {
+		t.Fatalf("slow handle EWMA = %d ns, want >= 100µs", ns)
+	}
+	if cheap := set.CostNs(0); cheap >= ns/10 {
+		t.Fatalf("cheap handle cost %d ns not clearly below slow %d ns", cheap, ns)
+	}
+
+	// Skip predicate excludes the winner.
+	j, _ := set.MostExpensive(func(k int) bool { return k == 1 })
+	if j == 1 {
+		t.Fatal("skip predicate ignored")
+	}
+
+	// Out-of-range reads are safe.
+	if set.CostNs(-1) != 0 || set.CostNs(99) != 0 {
+		t.Fatal("out-of-range CostNs not zero")
+	}
+}

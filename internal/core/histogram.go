@@ -108,16 +108,40 @@ type HistogramSnapshot struct {
 	Sum    int64
 }
 
-// Merge folds another snapshot into s.
+// Merge folds another snapshot into s. Bucket tables of different
+// lengths merge correctly — s grows to cover the longer one — so
+// compacted wire snapshots (Compact) and snapshots from peers built
+// with a different bucket count fold without loss or panic.
 func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 	if s.Counts == nil {
 		s.Counts = make([]int64, HistogramBuckets)
+	}
+	if len(o.Counts) > len(s.Counts) {
+		grown := make([]int64, len(o.Counts))
+		copy(grown, s.Counts)
+		s.Counts = grown
 	}
 	for i, c := range o.Counts {
 		s.Counts[i] += c
 	}
 	s.N += o.N
 	s.Sum += o.Sum
+}
+
+// Compact returns a copy of the snapshot with trailing zero buckets
+// trimmed — the form worth serializing: most distributions occupy a
+// narrow band of the full int64 bucket range, and Merge re-grows as
+// needed on the receiving side.
+func (s HistogramSnapshot) Compact() HistogramSnapshot {
+	last := len(s.Counts)
+	for last > 0 && s.Counts[last-1] == 0 {
+		last--
+	}
+	out := HistogramSnapshot{N: s.N, Sum: s.Sum}
+	if last > 0 {
+		out.Counts = append([]int64(nil), s.Counts[:last]...)
+	}
+	return out
 }
 
 // Quantile returns a representative value at quantile q (0 < q <= 1),
@@ -222,7 +246,13 @@ func (c *HistogramCounter) Quantile(q float64) (int64, bool) {
 	return c.h.Snapshot().Quantile(q)
 }
 
+// HistogramSnapshot implements DistributionSnapshotter: a mergeable
+// copy of the full distribution, used by the aggregation tree to carry
+// histograms upward instead of collapsing them to means.
+func (c *HistogramCounter) HistogramSnapshot() HistogramSnapshot { return c.h.Snapshot() }
+
 var (
-	_ Counter   = (*HistogramCounter)(nil)
-	_ Quantiler = (*HistogramCounter)(nil)
+	_ Counter                 = (*HistogramCounter)(nil)
+	_ Quantiler               = (*HistogramCounter)(nil)
+	_ DistributionSnapshotter = (*HistogramCounter)(nil)
 )

@@ -51,6 +51,10 @@ type request struct {
 	Keys     []string `json:"keys,omitempty"`      // spawn_poll: keys to report on
 	BudgetMS int64    `json:"budget_ms,omitempty"` // spawn: client's remaining deadline budget
 	WaitMS   int64    `json:"wait_ms,omitempty"`   // spawn_poll: server-side completion wait window
+
+	// Aggregation-tree field (tree.go): tree_push carries one subtree
+	// digest from a child to its parent.
+	Tree *TreeDigest `json:"tree,omitempty"`
 }
 
 // idempotent reports whether the request can be safely re-sent after a
@@ -73,6 +77,13 @@ func (r request) idempotent() bool {
 		// (and counted) by the spawn plane, not re-sent blindly by the
 		// transport.
 		return true
+	case "tree_pull":
+		return true
+	case "tree_push":
+		// Generation-keyed: the receiver keeps only the newest digest per
+		// child subtree, so re-delivering one after a lost response is a
+		// no-op (tree.go).
+		return true
 	default: // add_active, reset_active, invoke, spawn, unknown ops
 		return false
 	}
@@ -90,6 +101,7 @@ type response struct {
 	SetID  int64           `json:"set_id,omitempty"`  // bind_bulk: id of the compiled set
 	Spawn  *spawnState     `json:"spawn,omitempty"`   // spawn/spawn_cancel: state of that spawn
 	Spawns []spawnState    `json:"spawns,omitempty"`  // spawn_poll: state per polled key
+	Tree   *TreeDigest     `json:"tree,omitempty"`    // tree_pull: the receiver's folded view
 }
 
 // Machine-readable error classes carried in response.Code, so clients
@@ -237,6 +249,10 @@ type Server struct {
 	opts     ServerOptions
 	actions  atomic.Value // *ActionMap
 	wg       sync.WaitGroup
+
+	// treeNode, when set (SetTreeNode), serves the aggregation-tree ops
+	// tree_push/tree_pull (tree.go).
+	treeNode atomic.Value // treeNodeHolder
 
 	// spawns is the distributed-spawn task table (spawn.go): keyed by
 	// idempotency key, leased against orphaning. baseCtx parents every
@@ -554,6 +570,10 @@ func (s *Server) dispatch(req request, st *connState) response {
 		return s.spawnPoll(req)
 	case "spawn_cancel":
 		return s.spawnCancel(req)
+	case "tree_push":
+		return s.treePush(req)
+	case "tree_pull":
+		return s.treePull(req)
 	default:
 		return response{Error: fmt.Sprintf("parcel: unknown op %q", req.Op)}
 	}

@@ -128,6 +128,16 @@ type BudgetControllerConfig struct {
 	Levels int
 	// SetLevel is called whenever the demotion level changes.
 	SetLevel func(int)
+	// ShedCounter, when set, is tried BEFORE tier demotion on each
+	// degrade step: park the single most expensive counter (per-handle
+	// cost attribution) instead of dropping a whole tier. It reports
+	// whether it shed anything — false (no cost data yet, park limit
+	// reached) falls through to tier demotion.
+	ShedCounter func() bool
+	// RestoreCounter is the inverse, tried as the LAST ease step once
+	// interval and tiers are fully restored. Reports whether a parked
+	// counter was restored.
+	RestoreCounter func() bool
 }
 
 // BudgetController is the closed loop: feed it Tick(now) at any cadence
@@ -150,12 +160,13 @@ type BudgetController struct {
 	promoteAfter int
 	lastEase     time.Time
 
-	overheadPPM atomic.Int64
-	headroomPPM atomic.Int64
-	intervalNs  atomic.Int64
-	levelNow    atomic.Int64
-	demotions   atomic.Int64
-	promotions  atomic.Int64
+	overheadPPM    atomic.Int64
+	headroomPPM    atomic.Int64
+	intervalNs     atomic.Int64
+	levelNow       atomic.Int64
+	demotions      atomic.Int64
+	promotions     atomic.Int64
+	counterDemoted atomic.Int64
 }
 
 // NewBudgetController builds a controller; panics if cfg.Cost or
@@ -236,6 +247,11 @@ func (bc *BudgetController) degradeLocked(t time.Time) {
 		}
 	}
 	switch {
+	case bc.cfg.ShedCounter != nil && bc.cfg.ShedCounter():
+		// Surgical first: park the one counter the attribution EWMA
+		// blames, keeping the rest of its tier sampled.
+		bc.counterDemoted.Add(1)
+		bc.demotions.Add(1)
 	case bc.level < bc.cfg.Levels:
 		bc.level++
 		bc.levelNow.Store(int64(bc.level))
@@ -277,6 +293,11 @@ func (bc *BudgetController) easeLocked(t time.Time) {
 		bc.levelNow.Store(int64(bc.level))
 		bc.cfg.SetLevel(bc.level)
 		bc.promotions.Add(1)
+	case bc.cfg.RestoreCounter != nil && bc.cfg.RestoreCounter():
+		// Parked counters come back last — they were the single most
+		// expensive, so they are the first to re-blow the budget.
+		bc.counterDemoted.Add(-1)
+		bc.promotions.Add(1)
 	}
 }
 
@@ -301,6 +322,10 @@ func (bc *BudgetController) Demotions() int64 { return bc.demotions.Load() }
 
 // Promotions returns the cumulative count of easing steps taken.
 func (bc *BudgetController) Promotions() int64 { return bc.promotions.Load() }
+
+// DemotedCounters returns how many individual counters are currently
+// parked by surgical (per-counter) demotion.
+func (bc *BudgetController) DemotedCounters() int64 { return bc.counterDemoted.Load() }
 
 // RegisterCounters self-exports the controller's state as
 // /telemetry{locality#0/total}/budget/* counters on reg and adds them
@@ -330,8 +355,10 @@ func (bc *BudgetController) RegisterCounters(reg *core.Registry) {
 		core.UnitNanoseconds, bc.intervalNs.Load)
 	register("budget/level", "current demotion level (0 = full set)",
 		core.UnitNone, bc.levelNow.Load)
-	register("budget/demotions", "cumulative degradation steps (tier demotions + interval stretches)",
+	register("budget/demotions", "cumulative degradation steps (counter parks + tier demotions + interval stretches)",
 		core.UnitEvents, bc.demotions.Load)
+	register("budget/demoted-counters", "individual counters currently parked by per-counter demotion",
+		core.UnitNone, bc.counterDemoted.Load)
 	register("budget/promotions", "cumulative easing steps",
 		core.UnitEvents, bc.promotions.Load)
 }
@@ -352,6 +379,11 @@ type tieredSource struct {
 	// is bounded, so the budget claim stays honest.
 	burst func() bool
 
+	// attributeCost enables per-handle EWMA cost metering on the built
+	// sets, the signal behind surgical per-counter demotion. One extra
+	// clock read per counter per sweep.
+	attributeCost bool
+
 	level atomic.Int32
 
 	mu        sync.Mutex
@@ -361,6 +393,10 @@ type tieredSource struct {
 	sets      [numPriorities]*core.BindSet
 	scratch   [numPriorities][]core.Value
 	buf       []core.Value
+	// parked holds individually demoted counters (excluded from the
+	// rebuilt sets); parkOrder is the LIFO restore order.
+	parked    map[string]bool
+	parkOrder []string
 }
 
 func newTieredSource(reg *core.Registry, classify func(string) Priority, reset bool) *tieredSource {
@@ -401,14 +437,82 @@ func (ts *tieredSource) tierOf(name string) Priority {
 func (ts *tieredSource) rebuildLocked(gen uint64) {
 	var names [numPriorities][]string
 	for _, n := range ts.reg.Active() {
+		if ts.parked[n] {
+			continue
+		}
 		p := ts.tierOf(n)
 		names[p] = append(names[p], n)
 	}
 	for p := range ts.sets {
 		ts.sets[p] = ts.reg.BindSetLenient(names[p])
+		if ts.attributeCost {
+			ts.sets[p].EnableCostMetering()
+		}
 	}
 	ts.gen = gen
 	ts.built = true
+}
+
+// maxParkedCounters caps surgical demotion: past this many parks the
+// cost clearly isn't one hot counter, and the controller falls back to
+// tier demotion.
+const maxParkedCounters = 8
+
+// parkMostExpensive demotes the single most expensive non-critical
+// counter according to the per-handle cost EWMAs. Reports false when
+// there is no attribution data yet or the park limit is reached —
+// the controller then degrades a whole tier instead.
+func (ts *tieredSource) parkMostExpensive() bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if !ts.built || !ts.attributeCost || len(ts.parked) >= maxParkedCounters {
+		return false
+	}
+	best, bestNs := "", int64(0)
+	// Critical-tier counters are never parked, same as they are never
+	// tier-demoted.
+	for p := PriorityNormal; p <= PriorityDebug; p++ {
+		set := ts.sets[p]
+		if set == nil {
+			continue
+		}
+		if i, ns := set.MostExpensive(nil); i >= 0 && ns > bestNs {
+			best, bestNs = set.Names()[i], ns
+		}
+	}
+	if best == "" {
+		return false
+	}
+	if ts.parked == nil {
+		ts.parked = make(map[string]bool)
+	}
+	ts.parked[best] = true
+	ts.parkOrder = append(ts.parkOrder, best)
+	ts.built = false // rebuild without it on the next sample
+	return true
+}
+
+// unparkLast restores the most recently parked counter (LIFO — the
+// first parked was the most expensive and returns last). Reports false
+// when nothing is parked.
+func (ts *tieredSource) unparkLast() bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.parkOrder) == 0 {
+		return false
+	}
+	last := ts.parkOrder[len(ts.parkOrder)-1]
+	ts.parkOrder = ts.parkOrder[:len(ts.parkOrder)-1]
+	delete(ts.parked, last)
+	ts.built = false
+	return true
+}
+
+// demotedCounters returns the currently parked names, most recent last.
+func (ts *tieredSource) demotedCounters() []string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]string(nil), ts.parkOrder...)
 }
 
 // sample is the collector Source: evaluate every non-demoted tier into
@@ -463,6 +567,7 @@ type BudgetedCollector struct {
 // cost, not just its own.
 func NewBudgetedCollector(s *Sampler, reg *core.Registry, interval time.Duration, b Budget, reset bool) *BudgetedCollector {
 	ts := newTieredSource(reg, DefaultTiers, reset)
+	ts.attributeCost = true
 	col := NewCollector(s, ts.sample, interval)
 	ctl := NewBudgetController(BudgetControllerConfig{
 		Budget:       b,
@@ -471,9 +576,11 @@ func NewBudgetedCollector(s *Sampler, reg *core.Registry, interval time.Duration
 			_, _, ns := reg.SamplingCost()
 			return ns
 		},
-		SetInterval: col.SetInterval,
-		Levels:      numPriorities - 1, // drop debug, then normal; never critical
-		SetLevel:    ts.setLevel,
+		SetInterval:    col.SetInterval,
+		Levels:         numPriorities - 1, // drop debug, then normal; never critical
+		SetLevel:       ts.setLevel,
+		ShedCounter:    ts.parkMostExpensive,
+		RestoreCounter: ts.unparkLast,
 	})
 	bc := &BudgetedCollector{Collector: col, Controller: ctl, tiers: ts}
 	ts.burst = func() bool {
@@ -485,6 +592,10 @@ func NewBudgetedCollector(s *Sampler, reg *core.Registry, interval time.Duration
 
 // SetTier pins one counter to a tier, overriding DefaultTiers.
 func (bc *BudgetedCollector) SetTier(name string, p Priority) { bc.tiers.setTier(name, p) }
+
+// DemotedCounters lists the individually parked counters, most recent
+// last (the /telemetry{...}/budget/demoted-counters gauge counts them).
+func (bc *BudgetedCollector) DemotedCounters() []string { return bc.tiers.demotedCounters() }
 
 // Start begins sampling and the control loop (idempotent).
 func (bc *BudgetedCollector) Start() {

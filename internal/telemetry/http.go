@@ -43,6 +43,24 @@ func WithFlight(fr *FlightRecorder) HandlerOption {
 	}
 }
 
+// WithJSON serves the value fn returns at GET path as JSON. It is the
+// generic escape hatch for structured views that are not time series —
+// e.g. an aggregation-tree topology dump. fn runs per request; an error
+// maps to 503 so scrapers can tell "momentarily unavailable" from "gone".
+func WithJSON(path string, fn func() (any, error)) HandlerOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			v, err := fn()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(v)
+		})
+	}
+}
+
 // Handler returns an http.Handler exposing the sampler:
 //
 //	GET /metrics  Prometheus text format, latest point per series
@@ -176,6 +194,12 @@ func toPromMetric(counter string) *promMetric {
 	name := sanitizeMetricName("taskrt" + n.TypeName())
 	var labels []string
 	for _, inst := range n.Instances {
+		if inst.Name == "locality" && inst.Wildcard {
+			// Fleet-folded series span every locality; a wildcard index
+			// must not masquerade as locality 0.
+			labels = append(labels, `locality="*"`)
+			continue
+		}
 		if inst.Name == "locality" && inst.HasIndex {
 			labels = append(labels, `locality="`+strconv.FormatInt(inst.Index, 10)+`"`)
 			continue

@@ -3,8 +3,10 @@
 # round trip, goroutine-id cost, and the counter-overhead-vs-grain table
 # from the paper's Section VI), the "parcel_bulk" section (K remote
 # counters per sample: one evaluate_bulk round trip versus the K-round-
-# trip per-counter loop), and then enforces the perf budgets against the
-# fresh numbers. The "seed" section is the committed pre-optimization
+# trip per-counter loop), the "aggregation_tree" section (per-tick root
+# cost of the k-ary counter overlay vs the flat O(n) sweep at n = 10..
+# 10k localities), and then enforces the perf budgets against the fresh
+# numbers. The "seed" section is the committed pre-optimization
 # baseline and is preserved. Run on a quiet machine; every number here
 # is a timing.
 set -eu
@@ -26,6 +28,8 @@ TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
     go test -count=1 -run TestWriteBulkBenchJSON -v ./internal/parcel/
 TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
     go test -count=1 -run TestWriteTelemetryBudgetJSON -v ./internal/telemetry/
+TASKRT_BENCH_JSON="$(pwd)/BENCH_taskrt.json" \
+    go test -count=1 -run TestWriteTreeBenchJSON -timeout 20m -v ./internal/agas/tree/
 
 echo "== perf budget gate =="
 # Fails when the 1us-grain counter overhead exceeds 8% or the spawn+get

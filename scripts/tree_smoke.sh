@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Aggregation-overlay smoke test. Run under a timeout in CI:
+#
+#   timeout 120 bash scripts/tree_smoke.sh
+#
+# Two stages:
+#   1. scripts/treesmoke — a 3-level simulated tree with real parcel
+#      servers under the deepest leaves; an interior node is killed
+#      mid-run and the program asserts the self-healing contract:
+#      children re-attach to the grandparent by rank arithmetic, the
+#      root keeps serving a digest that is partial but labelled partial
+#      (dead subtree excluded exactly once), and the root's per-tick
+#      parcel load stays within k·depth.
+#   2. perfmon -tree — the fleet-watching mode end to end: the folded
+#      view must come out of /metrics with the wildcard locality label,
+#      /series as JSON, and /tree as a parseable topology dump.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+WORK=$(mktemp -d)
+cleanup() {
+    rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+go build -o "$BIN" ./scripts/treesmoke ./cmd/perfmon
+
+# --- 1. kill-and-repair contract --------------------------------------------
+"$BIN/treesmoke"
+
+# --- 2. the folded view over HTTP -------------------------------------------
+HTTP=127.0.0.1:${SMOKE_TREE_PORT:-7321}
+LOG="$WORK/perfmon.log"
+"$BIN/perfmon" -tree -fleet 64 -fanout 4 -tree-wire 2 \
+    -n 40 -interval 250ms -http "$HTTP" >"$LOG" 2>&1 &
+RUN=$!
+
+METRICS="$WORK/metrics.txt"
+TOPO="$WORK/tree.json"
+SERIES="$WORK/series.json"
+OK=0
+for _ in $(seq 1 40); do
+    if curl -sf "http://$HTTP/metrics" -o "$METRICS" 2>/dev/null \
+        && grep -q 'locality="\*"' "$METRICS" \
+        && curl -sf "http://$HTTP/tree" -o "$TOPO" 2>/dev/null \
+        && curl -sf "http://$HTTP/series" -o "$SERIES" 2>/dev/null
+    then OK=1; break; fi
+    sleep 0.25
+done
+if [ "$OK" -ne 1 ]; then
+    echo "tree_smoke: FAIL — folded telemetry never came up on $HTTP"
+    cat "$LOG"; kill "$RUN" 2>/dev/null || true; exit 1
+fi
+
+python3 - "$METRICS" "$TOPO" "$SERIES" <<'EOF'
+import json, sys
+
+metrics, topo_path, series_path = sys.argv[1:4]
+
+# /metrics: the fleet-folded digests carry the wildcard locality label
+# (a fold over every locality must not masquerade as locality 0) and the
+# @avg/@sum statistics of the standard thread counters.
+text = open(metrics).read()
+assert 'locality="*"' in text, "no wildcard-locality label in /metrics"
+assert "taskrt_threads_idle_rate" in text, "no folded idle-rate metric"
+assert "taskrt_agas_tree_subtree_age_ns" in text, "no per-subtree freshness series"
+
+topo = json.load(open(topo_path))
+assert topo["localities"] == 64, topo["localities"]
+assert topo["fanout"] == 4, topo["fanout"]
+assert topo["dead"] == 0, topo["dead"]
+root = topo["nodes"][0]
+assert root["kind"] == "root" and root["rank"] == 0
+assert 1 <= len(root["children"]) <= 4, f"root has {len(root['children'])} children"
+total = sum(c["localities"] for c in root["children"]) + 1
+assert total == 64, f"root children fold {total} localities, want 64"
+assert not any(c["stale"] for c in root["children"]), "healthy overlay reports stale subtrees"
+
+series = json.load(open(series_path))["series"]
+names = {s["name"] for s in series}
+assert any("@avg" in n for n in names), f"no @avg digest series: {sorted(names)[:5]}"
+assert any("subtree-age-ns" in n for n in names), "no freshness series in /series"
+
+print(f"tree_smoke: folded view OK ({len(series)} series, "
+      f"root children {len(root['children'])}, {total} localities)")
+EOF
+
+RC=0
+wait "$RUN" || RC=$?
+if [ "$RC" -ne 0 ]; then
+    echo "tree_smoke: FAIL — perfmon -tree exited $RC"; cat "$LOG"; exit "$RC"
+fi
+grep -q "fold gen" "$LOG" || {
+    echo "tree_smoke: FAIL — no fold summary printed"; cat "$LOG"; exit 1; }
+
+echo "tree_smoke: OK"

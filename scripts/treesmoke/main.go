@@ -1,0 +1,130 @@
+// Command treesmoke is the aggregation-overlay smoke test driven by
+// scripts/tree_smoke.sh: a 3-level simulated tree with real parcel
+// servers under the deepest leaves, one interior node killed mid-run.
+// It asserts the self-healing contract end to end — orphans re-attach
+// by rank arithmetic, the root keeps serving a digest that is partial
+// but *labelled* partial, the dead subtree is never double-counted,
+// and the root's per-tick parcel load stays within the k·depth bound —
+// and exits non-zero with a message when any of it does not hold.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/agas/tree"
+	"repro/internal/parcel"
+)
+
+const (
+	fleetN = 13 // 3 levels at k=3: root, ranks 1-3, ranks 4-12
+	fanout = 3
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "treesmoke: FAIL — "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	f, err := tree.NewFleet(tree.FleetConfig{
+		N: fleetN, Fanout: fanout, WireLeaves: 3,
+		Interval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		fail("fleet: %v", err)
+	}
+	defer f.Close()
+	ctx := context.Background()
+
+	// Healthy round: every locality folds, nothing is partial.
+	snap, err := f.Tick(ctx)
+	if err != nil {
+		fail("healthy tick: %v", err)
+	}
+	if snap.Localities != fleetN || snap.Partial {
+		fail("healthy fold: localities=%d partial=%v, want %d/false",
+			snap.Localities, snap.Partial, fleetN)
+	}
+	if snap.Depth != 2 {
+		fail("healthy fold depth = %d, want 2", snap.Depth)
+	}
+	fullSum := entrySum(snap, "/threads{locality#*/total}/count/cumulative")
+
+	// Kill the interior rank 1 (children 4, 5, 6). Its loopback server —
+	// if any — goes down with it, like a crashed locality.
+	f.KillRank(1)
+
+	snap, err = f.Tick(ctx)
+	if err != nil {
+		fail("post-kill tick: %v", err)
+	}
+
+	// 1. The orphans re-attached to the grandparent (the root), each
+	//    counting its own repair.
+	for _, r := range []int{4, 5, 6} {
+		n := f.Nodes[r]
+		if p := n.Parent(); p != 0 {
+			fail("rank %d parent = %d after interior death, want 0 (grandparent)", r, p)
+		}
+		if n.Reparents() < 1 {
+			fail("rank %d performed no re-parenting repair", r)
+		}
+	}
+
+	// 2. The root still serves a digest — partial but labelled: the dead
+	//    locality's own sample is the only thing missing, and the fold
+	//    says so instead of silently shrinking.
+	if !snap.Partial {
+		fail("root fold after interior death is not labelled partial")
+	}
+	if snap.Localities != fleetN-1 {
+		fail("root folds %d localities after death, want %d (no double count, no extra loss)",
+			snap.Localities, fleetN-1)
+	}
+	if snap.Reparents < 3 {
+		fail("root digest carries %d reparents, want >= 3", snap.Reparents)
+	}
+	partialSum := entrySum(snap, "/threads{locality#*/total}/count/cumulative")
+	if partialSum >= fullSum || partialSum <= 0 {
+		fail("partial sum %g vs full %g: dead locality not excluded exactly once",
+			partialSum, fullSum)
+	}
+
+	// 3. Root parcel load: even with the adopted orphans the root's
+	//    attached children stay within k·depth per tick.
+	top := f.Topology(time.Now(), 0)
+	rootChildren := len(top.Nodes[0].Children)
+	bound := fanout * snap.Depth
+	if rootChildren > bound {
+		fail("root holds %d child subtrees, above the k·depth bound %d", rootChildren, bound)
+	}
+
+	// Stability: the repaired topology must hold, not flap, on following
+	// rounds.
+	snap, err = f.Tick(ctx)
+	if err != nil {
+		fail("settled tick: %v", err)
+	}
+	if snap.Localities != fleetN-1 || !snap.Partial {
+		fail("repaired overlay did not hold: localities=%d partial=%v",
+			snap.Localities, snap.Partial)
+	}
+
+	fmt.Printf("treesmoke: OK — %d/%d localities after interior death, partial labelled, "+
+		"%d reparents, root children %d <= %d\n",
+		snap.Localities, fleetN, snap.Reparents, rootChildren, bound)
+}
+
+// entrySum digs one digest entry's sum out of a snapshot.
+func entrySum(snap *parcel.TreeDigest, key string) float64 {
+	for _, e := range snap.Entries {
+		if e.Key == key {
+			return e.Sum
+		}
+	}
+	fail("digest has no entry %s", key)
+	return 0
+}
