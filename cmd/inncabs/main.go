@@ -41,6 +41,7 @@ func main() {
 		sizeStr   = flag.String("size", "small", "workload size: test, small, medium, paper, huge")
 		samples   = flag.Int("samples", 3, "measurement samples (paper protocol: 20)")
 		policyStr = flag.String("policy", "async", "launch policy: async, sync, fork, deferred, optional")
+		adaptive  = flag.Bool("adaptive", false, "counter-driven adaptive inlining: run children inline when their estimated grain is below the runtime's measured spawn cost (hpx runtime; see /runtime{...}/grain/* counters)")
 		listBench = flag.Bool("list-benchmarks", false, "list benchmarks and exit")
 		all       = flag.Bool("all", false, "run and verify the whole suite, print a summary table")
 		tracePath = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the task schedule to this file (hpx runtime)")
@@ -102,7 +103,11 @@ func main() {
 	var trt *taskrt.Runtime
 	switch *rtName {
 	case "hpx":
-		trt = taskrt.New(taskrt.WithWorkers(*threads))
+		rtOpts := []taskrt.Option{taskrt.WithWorkers(*threads)}
+		if *adaptive {
+			rtOpts = append(rtOpts, taskrt.WithAdaptiveInlining())
+		}
+		trt = taskrt.New(rtOpts...)
 		defer trt.Shutdown()
 		if err := trt.RegisterCounters(reg); err != nil {
 			fatal(err)

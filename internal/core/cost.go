@@ -151,10 +151,12 @@ var (
 // normally-cheap counter.
 const costEWMAShift = 3
 
-// ewmaUpdate folds one cost sample into an atomic EWMA cell. The first
+// EWMAUpdate folds one cost sample into an atomic EWMA cell. The first
 // sample seeds the estimate directly. Lost updates under a concurrent
 // write are acceptable: the estimate re-converges on the next sweep.
-func ewmaUpdate(a *atomic.Int64, sample int64) {
+// Exported for other self-metering consumers (the task runtime's
+// adaptive-inline policy meters its spawn cost into the same cell).
+func EWMAUpdate(a *atomic.Int64, sample int64) {
 	if sample < 0 {
 		sample = 0
 	}

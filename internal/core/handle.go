@@ -149,7 +149,7 @@ func (s *BindSet) EvaluateBatch(dst []Value, reset bool) []Value {
 		for i := range s.handles {
 			dst[i] = s.handles[i].Evaluate(reset)
 			t := now()
-			ewmaUpdate(&s.costNs[i], t.Sub(prev).Nanoseconds())
+			EWMAUpdate(&s.costNs[i], t.Sub(prev).Nanoseconds())
 			prev = t
 		}
 		if len(s.handles) > 0 {

@@ -81,14 +81,19 @@ func buildVillages(p healthParams) *village {
 // into the children (one task each), then absorbs their referrals,
 // treats its waiting patients, and refers the unlucky ones upward.
 func healthStep(rt Runtime, v *village, step int) {
-	var futures []Future
+	// One batch per village: the child descent is launched as a single
+	// scheduler transaction, with Table V's 1.02 µs grain as the inline
+	// hint — health is the suite's finest-grained member, exactly the
+	// regime adaptive inlining targets.
+	var fns []func() any
 	for _, c := range v.children {
 		c := c
-		futures = append(futures, rt.Async(func() any {
+		fns = append(fns, func() any {
 			healthStep(rt, c, step)
 			return nil
-		}))
+		})
 	}
+	futures := asyncAll(rt, grainNs(1.02), fns) // Table V: 1.02 µs tasks
 	// New patient arrives with a deterministic pseudo-random condition.
 	h := hash64(v.id*1000003 + uint64(step))
 	if h%4 == 0 {

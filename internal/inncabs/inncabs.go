@@ -55,6 +55,32 @@ type CtxRuntime interface {
 	AsyncCtx(ctx context.Context, fn func() any) Future
 }
 
+// BatchRuntime is implemented by runtimes that can launch the children
+// of a wide node as one scheduler transaction (one queue publish, one
+// wakeup) instead of one per child. grainNs is the caller's estimate of
+// one child's body duration in nanoseconds — Table V's measured grain —
+// feeding the runtime's adaptive-inline policy; 0 means unknown.
+type BatchRuntime interface {
+	Runtime
+	// AsyncBatch launches every fn asynchronously and returns their
+	// futures, in order.
+	AsyncBatch(grainNs int64, fns []func() any) []Future
+}
+
+// asyncAll launches every fn, as one batch transaction when the runtime
+// supports it and one Async per fn otherwise. The fns slice is consumed
+// synchronously: the caller may reuse it after asyncAll returns.
+func asyncAll(rt Runtime, grainNs int64, fns []func() any) []Future {
+	if b, ok := rt.(BatchRuntime); ok && len(fns) > 1 {
+		return b.AsyncBatch(grainNs, fns)
+	}
+	out := make([]Future, len(fns))
+	for i, fn := range fns {
+		out[i] = rt.Async(fn)
+	}
+	return out
+}
+
 // errFuture is implemented by futures that can report how the task
 // completed without re-panicking (taskrt's Future does).
 type errFuture interface {
@@ -134,7 +160,9 @@ func init() {
 	pkg := name[:i+j+1]
 	taskrt.RegisterSiteSkip(pkg + "(*HPXRuntime).Async")
 	taskrt.RegisterSiteSkip(pkg + "(*HPXRuntime).AsyncCtx")
+	taskrt.RegisterSiteSkip(pkg + "(*HPXRuntime).AsyncBatch")
 	taskrt.RegisterSiteSkip(pkg + "asyncCtx")
+	taskrt.RegisterSiteSkip(pkg + "asyncAll")
 }
 
 // HPXRuntime adapts taskrt to the benchmark interface.
@@ -159,6 +187,23 @@ func (h *HPXRuntime) Async(fn func() any) Future {
 // tree, so tasks still queued when ctx dies are dropped at dispatch.
 func (h *HPXRuntime) AsyncCtx(ctx context.Context, fn func() any) Future {
 	return taskrt.SpawnCtx(ctx, h.RT, h.Policy, fn)
+}
+
+// AsyncBatch implements BatchRuntime: an Async-policy batch is one
+// scheduler transaction (one deque-window publish, one notify); other
+// policies keep their per-task launch semantics.
+func (h *HPXRuntime) AsyncBatch(grainNs int64, fns []func() any) []Future {
+	var fs []*taskrt.Future[any]
+	if h.Policy == taskrt.Async || h.Policy == taskrt.Optional {
+		fs = taskrt.AsyncBatchGrain(h.RT, grainNs, fns)
+	} else {
+		fs = taskrt.SpawnBatch(h.RT, h.Policy, fns)
+	}
+	out := make([]Future, len(fs))
+	for i, f := range fs {
+		out[i] = f
+	}
+	return out
 }
 
 // NewMutex implements Runtime with the instrumented task-runtime mutex.

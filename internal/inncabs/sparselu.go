@@ -140,26 +140,30 @@ func bmod(row, col, inner []float64, bs int) []float64 {
 // block operation within each dependence level.
 func sparseluFactor(rt Runtime, m *blockMatrix) {
 	bs := m.bs
+	// Each dependence level's fan-out (the substitution phase, then the
+	// trailing update) is one batch transaction; Table V's 988 µs grain
+	// rides along as the inline hint.
+	const sparseluGrainNs = 988 * 1000
 	for k := 0; k < m.nb; k++ {
 		lu0(m.at(k, k), bs)
 		diag := m.at(k, k)
-		var phase []Future
+		var phase []func() any
 		for j := k + 1; j < m.nb; j++ {
 			if b := m.at(k, j); b != nil {
 				b := b
-				phase = append(phase, rt.Async(func() any { fwd(diag, b, bs); return nil }))
+				phase = append(phase, func() any { fwd(diag, b, bs); return nil })
 			}
 		}
 		for i := k + 1; i < m.nb; i++ {
 			if b := m.at(i, k); b != nil {
 				b := b
-				phase = append(phase, rt.Async(func() any { bdiv(diag, b, bs); return nil }))
+				phase = append(phase, func() any { bdiv(diag, b, bs); return nil })
 			}
 		}
-		for _, f := range phase {
+		for _, f := range asyncAll(rt, sparseluGrainNs, phase) {
 			f.Get()
 		}
-		var mods []Future
+		var mods []func() any
 		for i := k + 1; i < m.nb; i++ {
 			col := m.at(i, k)
 			if col == nil {
@@ -171,13 +175,13 @@ func sparseluFactor(rt Runtime, m *blockMatrix) {
 					continue
 				}
 				i, j := i, j
-				mods = append(mods, rt.Async(func() any {
+				mods = append(mods, func() any {
 					m.set(i, j, bmod(row, col, m.at(i, j), bs))
 					return nil
-				}))
+				})
 			}
 		}
-		for _, f := range mods {
+		for _, f := range asyncAll(rt, sparseluGrainNs, mods) {
 			f.Get()
 		}
 	}

@@ -1,0 +1,151 @@
+package taskrt
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Batch spawn: launching the N children of a wide node as one scheduler
+// transaction. A single spawn pays a queue publish, a pending-count
+// add, a peak update and a wakeup notify; SpawnBatch pays each of those
+// once for the whole batch — one Chase–Lev bottom-pointer publish (or
+// one injector chain splice from outside the pool), one metrics add,
+// one notify. At Inncabs grains (1–10µs) that turns the dominant
+// per-child cost of wide nodes into a per-wave cost.
+
+// SpawnBatch launches every fn under the given policy and returns
+// their futures, in order. Async and Optional batches are enqueued as
+// one scheduler transaction; other policies keep their per-task
+// semantics (Sync/Fork run each body at the spawn point, Deferred
+// defers each to its first Wait).
+func SpawnBatch[T any](rt *Runtime, policy Policy, fns []func() T) []*Future[T] {
+	return spawnBatch(rt, nil, policy, 0, fns)
+}
+
+// AsyncBatch is SpawnBatch with the Async policy.
+func AsyncBatch[T any](rt *Runtime, fns []func() T) []*Future[T] {
+	return spawnBatch(rt, nil, Async, 0, fns)
+}
+
+// AsyncBatchCtx is AsyncBatch with ctx as every member's cancellation
+// scope: one scope covers the batch, and a scope that dies while
+// members are queued drops each of them at dispatch with exact
+// cancelled-counter accounting, like single spawns.
+func AsyncBatchCtx[T any](ctx context.Context, rt *Runtime, fns []func() T) []*Future[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return spawnBatch(rt, ctx, Async, 0, fns)
+}
+
+// AsyncBatchGrain is AsyncBatch with a caller-supplied estimate of each
+// member's body duration in nanoseconds, feeding the adaptive-inline
+// policy (see AsyncGrain).
+func AsyncBatchGrain[T any](rt *Runtime, grainNs int64, fns []func() T) []*Future[T] {
+	return spawnBatch(rt, nil, Async, grainNs, fns)
+}
+
+// spawnBatch is the batch launch path. Per-batch bookkeeping that
+// single spawns pay per task — the clock read, the spawn-depth
+// computation, the spawn-site stack capture, the deadline scope — is
+// paid once and stamped onto every member.
+func spawnBatch[T any](rt *Runtime, ctx context.Context, policy Policy, grainNs int64, fns []func() T) []*Future[T] {
+	out := make([]*Future[T], len(fns))
+	if len(fns) == 0 {
+		return out
+	}
+	if policy != Async && policy != Optional {
+		for i, fn := range fns {
+			out[i] = spawn(rt, ctx, policy, grainNs, fn, nil)
+		}
+		return out
+	}
+	w := rt.currentWorker()
+	tr := rt.loadTracer()
+	var depth, nowNs int64
+	if tr != nil || w != nil {
+		nowNs = time.Now().UnixNano()
+		if w != nil {
+			depth = w.spawnDepthNs(nowNs)
+		}
+	}
+	var pcs [siteDepth]uintptr
+	if tr != nil {
+		runtime.Callers(2, pcs[:])
+	}
+	if ctx == nil && w != nil {
+		ctx = w.curCtx // join the running task's cancellation tree
+	}
+	var onDone func()
+	if d := rt.taskDeadline; d > 0 {
+		// One deadline scope covers the whole batch; its timer is
+		// released when the last member completes.
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		dctx, cancel := context.WithTimeout(base, d)
+		ctx = dctx
+		var left atomic.Int64
+		left.Store(int64(len(fns)))
+		onDone = func() {
+			if left.Add(-1) == 0 {
+				cancel()
+			}
+		}
+	}
+	for i, fn := range fns {
+		f := newFuture[T](rt)
+		f.fn = fn
+		f.ctx = ctx
+		f.onDone = onDone
+		f.depthNs = depth
+		if tr != nil {
+			f.meta = tr.newMetaFrom(w, nowNs, pcs)
+		}
+		out[i] = f
+	}
+	if ctx != nil && ctx.Err() != nil {
+		// Dead on arrival: every member is dropped and counted, exactly
+		// like single spawns.
+		for _, f := range out {
+			f.drop()
+		}
+		return out
+	}
+	if rt.shouldShed() {
+		// Overload: the whole batch is shed to inline execution, each
+		// member counted.
+		rt.shed.Add(int64(len(out)))
+		for _, f := range out {
+			runOn(w, rt, &f.task)
+		}
+		return out
+	}
+	// Adaptive inlining over a batch: enqueue just enough members to
+	// feed idle workers, run the rest inline (see batchInlineSplit).
+	k := rt.batchInlineSplit(w, grainNs, len(out))
+	if rt.adaptiveInline {
+		rt.grainSpawned.Add(int64(k))
+		rt.grainInlined.Add(int64(len(out) - k))
+	}
+	if k > 0 {
+		ts := make([]*task, k)
+		for i := range ts {
+			ts[i] = &out[i].task
+		}
+		if err := rt.submitBatchFrom(w, ts); err != nil {
+			// Runtime shut down: fall back to deferred execution so the
+			// futures still complete when queried.
+			for _, f := range out[:k] {
+				f.deferred = true
+			}
+		}
+	}
+	for _, f := range out[k:] {
+		runOn(w, rt, &f.task)
+	}
+	return out
+}

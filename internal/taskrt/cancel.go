@@ -51,7 +51,7 @@ func SpawnCtx[T any](ctx context.Context, rt *Runtime, policy Policy, fn func() 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return spawn(rt, ctx, policy, fn, nil)
+	return spawn(rt, ctx, policy, 0, fn, nil)
 }
 
 // AsyncCtx is SpawnCtx with the Async policy.
@@ -86,7 +86,7 @@ func SpawnTimeout[T any](ctx context.Context, rt *Runtime, policy Policy, d time
 	// The release hook rides into spawn so it is installed before the
 	// task is published; spawn chains it with the per-runtime deadline's
 	// cancel when both apply.
-	return spawn(rt, dctx, policy, fn, cancel)
+	return spawn(rt, dctx, policy, 0, fn, cancel)
 }
 
 // Err waits for the future and reports how it completed: nil for a
@@ -120,26 +120,22 @@ func (f *Future[T]) WaitContext(ctx context.Context) error {
 		return err
 	}
 	w := f.rt.currentWorker()
-	if f.fn != nil && f.state.Load() == futCreated {
+	if f.deferred && f.state.Load() == futCreated {
 		// Deferred: the first waiter runs the task inline.
-		fn := f.fn
-		if w != nil {
-			w.executeInline(f.bodyTask(fn))
-		} else {
-			f.run(fn)
-		}
+		runOn(w, f.rt, &f.task)
 		if f.state.Load() == futDone {
 			return nil
 		}
 	}
 	if w != nil {
-		if !f.rt.helpWaitUntil(w, f.done, ctx.Done()) {
+		if !f.rt.helpWaitTask(w, &f.task, ctx.Done()) {
 			return ctx.Err()
 		}
 		return nil
 	}
 	select {
-	case <-f.done:
+	case <-f.waitChan():
+		f.settleDone()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

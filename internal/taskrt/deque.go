@@ -2,15 +2,23 @@ package taskrt
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 )
 
-// task is one unit of schedulable work. Tasks are pooled: the scheduler
-// returns every task it obtained from a queue to taskPool after running
-// it, so steady-state spawning allocates no task structs.
+// task is one unit of schedulable work: the scheduling core every
+// Future[T] embeds as its first field. Fusing the future into the task
+// means one object carries a spawn from creation through queueing,
+// execution and the consumer's Get — one allocation (or pool round
+// trip, see Future.Release) per spawn instead of the former
+// future+task+closure triple.
 type task struct {
-	fn func(w *worker)
+	// runner points back at the typed Future embedding this task; the
+	// scheduler calls it to execute the body. Pointer-to-interface
+	// conversion happens once, when the future is allocated.
+	runner runnable
+	// rt is the owning runtime; completion accounting (drop counters)
+	// and the consumer-side wait paths need it.
+	rt *Runtime
 	// ctx is the task's cancellation scope (nil when the task is not
 	// cancellable). The worker publishes it as its current scope while
 	// the task runs, so tasks spawned from inside inherit it.
@@ -24,26 +32,44 @@ type task struct {
 	// feeds the online span estimator behind the
 	// /runtime{...}/critical-path counters.
 	depthNs int64
+	// onDone releases per-task deadline resources (a context.CancelFunc)
+	// exactly once, when the task completes.
+	onDone func()
+	// state is the future lifecycle: futCreated -> futRunning -> futDone.
+	// The producer's very last store after a run is state=futDone; a
+	// consumer that observes it owns the object exclusively (Release).
+	state atomic.Int32
+	// doneCh is the lazily-allocated wait channel: only waiters that
+	// actually park pay for a channel. After completion it holds the
+	// package-wide pre-closed sentinel.
+	doneCh atomic.Pointer[doneChan]
+	// err is nil after a normal completion, ErrCancelled when the task
+	// was dropped because its context died, or a *PanicError when the
+	// task body panicked. Written before the completion publication.
+	err error
+	// deferred marks a Deferred-policy task (first Wait runs it inline)
+	// and doubles as the shutdown fallback for spawns that raced Close.
+	deferred bool
 }
 
-var taskPool = sync.Pool{New: func() any { return new(task) }}
-
-// newTask draws a task from the pool.
-func newTask(fn func(w *worker)) *task {
-	t := taskPool.Get().(*task)
-	t.fn = fn
-	return t
+// runnable is the type-erased execution hook of a fused future.
+type runnable interface {
+	// runTask executes the task body exactly once: dispatch-time
+	// cancellation check, claim, run, publish.
+	runTask()
 }
 
-// freeTask returns an executed (or never-to-be-executed) task to the
-// pool. Callers must not retain t afterwards.
-func freeTask(t *task) {
-	t.fn = nil
-	t.ctx = nil
-	t.meta = nil
-	t.depthNs = 0
-	taskPool.Put(t)
-}
+// doneChan wraps the wait channel so an atomic.Pointer can hold both
+// "no waiter yet" (nil) and the pre-closed completion sentinel.
+type doneChan struct{ ch chan struct{} }
+
+// closedDoneChan is the sentinel a completed task publishes: any late
+// waiter receives immediately without allocating a channel.
+var closedDoneChan = func() *doneChan {
+	d := &doneChan{ch: make(chan struct{})}
+	close(d.ch)
+	return d
+}()
 
 // deque is a Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; the
 // C11 formulation of Lê et al., PPoPP'13). The owning worker pushes and
@@ -106,6 +132,37 @@ func (d *deque) pushBack(t *task) int {
 	buf.slots[b&buf.mask].Store(t)
 	d.bottom.Store(b + 1)
 	return int(b + 1 - tp)
+}
+
+// pushBackN appends a whole batch of tasks at the owner's end with one
+// bottom-pointer publish and reports the new length. Owner-only. This
+// is the deque half of SpawnBatch: thieves cannot see any of the batch
+// until the single bottom store, so the reservation window [b, b+n) is
+// filled without per-task synchronisation.
+func (d *deque) pushBackN(ts []*task) int {
+	n := int64(len(ts))
+	if n == 0 {
+		return d.len()
+	}
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	buf := d.buf.Load()
+	if buf == nil {
+		capacity := int64(initialDequeCap)
+		for capacity < n {
+			capacity *= 2
+		}
+		buf = newDequeBuf(capacity)
+		d.buf.Store(buf)
+	}
+	for b-tp+n > int64(len(buf.slots)) {
+		buf = d.grow(buf, tp, b)
+	}
+	for i, t := range ts {
+		buf.slots[(b+int64(i))&buf.mask].Store(t)
+	}
+	d.bottom.Store(b + n)
+	return int(b + n - tp)
 }
 
 // grow doubles the buffer, copying live elements [tp, b). Owner-only;

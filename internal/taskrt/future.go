@@ -3,8 +3,10 @@ package taskrt
 import (
 	"context"
 	"fmt"
+	"reflect"
+	"runtime"
 	"runtime/debug"
-	"sync/atomic"
+	"sync"
 	"time"
 )
 
@@ -82,38 +84,86 @@ type Waiter interface {
 
 // Future holds the eventual result of an Async call. The zero value is
 // not usable; futures are created by Spawn.
+//
+// The future IS the task: the scheduling core (the embedded task) and
+// the typed result live in one object, so a spawn costs a single
+// allocation — or none at all once the consumer recycles completed
+// futures with Release, which is what keeps the Spawn→Get steady state
+// at zero allocations per task.
 type Future[T any] struct {
-	rt    *Runtime
-	state atomic.Int32
-	done  chan struct{}
-	fn    func() T
-	// ctx is the task's cancellation scope; nil when not cancellable.
-	ctx context.Context
-	// onDone releases per-task deadline resources (a context.CancelFunc)
-	// exactly once, when the future completes.
-	onDone func()
-	value  T
-	// err is nil after a normal completion, ErrCancelled when the task
-	// was dropped because its context died, or a *PanicError when the
-	// task body panicked.
-	err error
-	// meta is the task's causal-tracing identity (nil with tracing
-	// off); it rides on the future so Deferred bodies executed at Wait
-	// keep their place in the spawn DAG.
-	meta *taskMeta
-	// depthNs is the spawn-path depth at the spawn point, feeding the
-	// online critical-path estimator.
-	depthNs int64
+	task
+	// fn is the task body; cleared on Release.
+	fn func() T
+	// value is the result, valid once the task completed with a nil err.
+	value T
+	// pool is the per-result-type recycle pool this future came from.
+	pool *sync.Pool
 }
 
-// bodyTask wraps the future's body into a pooled task carrying the
-// future's cancellation scope and causal identity.
-func (f *Future[T]) bodyTask(fn func() T) *task {
-	t := newTask(func(*worker) { f.run(fn) })
-	t.ctx = f.ctx
-	t.meta = f.meta
-	t.depthNs = f.depthNs
-	return t
+// futurePools maps a result type T to the *sync.Pool of *Future[T]
+// recycled by Release. Pooling is per type because the pool must hand
+// back the exact generic instantiation.
+var futurePools sync.Map // reflect.Type -> *sync.Pool
+
+// newFuture draws a future from the per-type pool (allocating on a
+// miss) and binds it to rt. The runner hook — the task's type-erased
+// pointer back to its typed future — is installed once, at allocation.
+func newFuture[T any](rt *Runtime) *Future[T] {
+	key := reflect.TypeFor[T]()
+	p, ok := futurePools.Load(key)
+	if !ok {
+		p, _ = futurePools.LoadOrStore(key, &sync.Pool{New: func() any {
+			f := new(Future[T])
+			f.runner = f
+			return f
+		}})
+	}
+	pool := p.(*sync.Pool)
+	f := pool.Get().(*Future[T])
+	f.pool = pool
+	f.rt = rt
+	return f
+}
+
+// Release recycles a completed future into the per-type spawn pool,
+// waiting for completion first (a Deferred future is executed). After
+// Release the future must not be touched again by anyone: the caller
+// is asserting it is the only goroutine still holding a reference.
+// Release on an already-released future is a no-op, and futures that
+// are never released are simply garbage collected — Release is an
+// optimization for spawn-heavy loops, not an obligation.
+func (f *Future[T]) Release() {
+	if f.state.Load() == futCreated && f.fn == nil {
+		// Already released: a live future always has its body installed
+		// before it is published, so created-with-no-body can only be a
+		// recycled object. Waiting on it would park forever.
+		return
+	}
+	f.Wait()
+	// Claiming futDone→futCreated makes a double Release harmless and,
+	// because the producer's final store is state=futDone, guarantees
+	// the producer side is entirely done with the object.
+	if !f.state.CompareAndSwap(futDone, futCreated) {
+		return
+	}
+	var zero T
+	f.fn = nil
+	f.value = zero
+	f.err = nil
+	f.ctx = nil
+	f.meta = nil
+	f.depthNs = 0
+	f.onDone = nil
+	f.deferred = false
+	f.doneCh.Store(nil)
+	f.pool.Put(f)
+}
+
+// ReleaseAll releases every future in fs (see Release).
+func ReleaseAll[T any](fs []*Future[T]) {
+	for _, f := range fs {
+		f.Release()
+	}
 }
 
 // Spawn launches fn under the given policy on rt and returns a Future for
@@ -123,16 +173,20 @@ func (f *Future[T]) bodyTask(fn func() T) *task {
 // inside a task spawned with SpawnCtx, the child joins the parent's
 // cancellation tree.
 func Spawn[T any](rt *Runtime, policy Policy, fn func() T) *Future[T] {
-	return spawn(rt, nil, policy, fn, nil)
+	return spawn(rt, nil, policy, 0, fn, nil)
 }
 
 // spawn is the shared launch path: ctx == nil means "inherit the
-// spawning task's scope, if any". onDone, if non-nil, is invoked when
-// the future completes (used to release per-spawn deadline timers); it
-// must be installed here, before the task is published, because finish
-// may run concurrently on a worker the moment the task is queued.
-func spawn[T any](rt *Runtime, ctx context.Context, policy Policy, fn func() T, onDone func()) *Future[T] {
-	f := &Future[T]{rt: rt, done: make(chan struct{}), onDone: onDone}
+// spawning task's scope, if any"; grainNs > 0 is the caller's estimate
+// of the task body's duration, feeding the adaptive-inline policy.
+// onDone, if non-nil, is invoked when the future completes (used to
+// release per-spawn deadline timers); it must be installed here, before
+// the task is published, because completion may run concurrently on a
+// worker the moment the task is queued.
+func spawn[T any](rt *Runtime, ctx context.Context, policy Policy, grainNs int64, fn func() T, onDone func()) *Future[T] {
+	f := newFuture[T](rt)
+	f.fn = fn
+	f.onDone = onDone
 	// One worker resolution per spawn: every path below that needs the
 	// caller's identity reuses w instead of consulting goroutine id
 	// again.
@@ -178,13 +232,9 @@ func spawn[T any](rt *Runtime, ctx context.Context, policy Policy, fn func() T, 
 	case Sync, Fork:
 		// Work-first execution at the spawn point. When on a worker, the
 		// execution is accounted as an inline task.
-		if w != nil {
-			w.executeInline(f.bodyTask(fn))
-		} else {
-			f.run(fn)
-		}
+		runOn(w, rt, &f.task)
 	case Deferred:
-		f.fn = fn
+		f.deferred = true
 	default: // Async, Optional
 		if rt.shouldShed() {
 			// Overload: past the pending high-water mark new spawns run
@@ -192,19 +242,23 @@ func spawn[T any](rt *Runtime, ctx context.Context, policy Policy, fn func() T, 
 			// queues — the task still executes, only its queueing is
 			// shed.
 			rt.shed.Add(1)
-			if w != nil {
-				w.executeInline(f.bodyTask(fn))
-			} else {
-				f.run(fn)
-			}
+			runOn(w, rt, &f.task)
 			return f
 		}
-		t := f.bodyTask(fn)
-		if err := rt.submitFrom(w, t); err != nil {
+		if rt.inlineEligible(w, grainNs) {
+			// Adaptive inlining: the task is cheaper to run here than
+			// to schedule, by the runtime's own measurement.
+			rt.grainInlined.Add(1)
+			w.executeInline(&f.task)
+			return f
+		}
+		if rt.adaptiveInline {
+			rt.grainSpawned.Add(1)
+		}
+		if err := rt.submitFrom(w, &f.task); err != nil {
 			// Runtime shut down: fall back to deferred execution so the
 			// future still completes when queried.
-			freeTask(t)
-			f.fn = fn
+			f.deferred = true
 		}
 	}
 	return f
@@ -216,10 +270,39 @@ func AsyncF[T any](rt *Runtime, fn func() T) *Future[T] {
 	return Spawn(rt, Async, fn)
 }
 
-// run executes the task body exactly once and publishes the result. A
-// task whose cancellation scope died while it sat in a queue is dropped
-// here — at dispatch — without running user code.
-func (f *Future[T]) run(fn func() T) {
+// AsyncGrain is AsyncF with a caller-supplied estimate of the task
+// body's duration in nanoseconds — the hint the adaptive-inline policy
+// compares against the runtime's measured spawn cost (see
+// WithAdaptiveInlining). Pass what the workload knows (a per-element
+// cost, a calibrated kernel grain); 0 means "unknown", falling back to
+// the runtime's own profiled task-duration EWMA.
+func AsyncGrain[T any](rt *Runtime, grainNs int64, fn func() T) *Future[T] {
+	return spawn(rt, nil, Async, grainNs, fn, nil)
+}
+
+// runOn executes a fused task at the spawn point: as an accounted
+// inline task when on a worker of rt, directly on the calling
+// goroutine otherwise.
+func runOn(w *worker, rt *Runtime, t *task) {
+	if w != nil && w.rt == rt {
+		w.executeInline(t)
+	} else {
+		t.exec()
+	}
+}
+
+// exec runs the fused future's body via its type-erased hook. Tasks
+// without a runner (constructed directly by tests) are ignored.
+func (t *task) exec() {
+	if t.runner != nil {
+		t.runner.runTask()
+	}
+}
+
+// runTask executes the task body exactly once and publishes the result.
+// A task whose cancellation scope died while it sat in a queue is
+// dropped here — at dispatch — without running user code.
+func (f *Future[T]) runTask() {
 	if f.ctx != nil && f.ctx.Err() != nil {
 		f.drop()
 		return
@@ -231,36 +314,63 @@ func (f *Future[T]) run(fn func() T) {
 		if r := recover(); r != nil {
 			f.err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
-		f.finish()
+		f.complete()
 	}()
-	f.value = fn()
+	f.value = f.fn()
 }
 
-// drop completes the future as cancelled without running the task body
-// and counts the drop in the runtime's cancelled counter.
-func (f *Future[T]) drop() {
-	if !f.state.CompareAndSwap(futCreated, futRunning) {
+// drop completes the task as cancelled without running the body and
+// counts the drop in the runtime's cancelled counter.
+func (t *task) drop() {
+	if !t.state.CompareAndSwap(futCreated, futRunning) {
 		return
 	}
-	f.err = ErrCancelled
-	if f.rt != nil {
-		f.rt.cancelled.Add(1)
+	t.err = ErrCancelled
+	if t.rt != nil {
+		t.rt.cancelled.Add(1)
 	}
-	f.finish()
+	t.complete()
 }
 
-// finish publishes completion: state, the done channel, and any deadline
-// release hook. Called exactly once per future.
-func (f *Future[T]) finish() {
-	f.state.Store(futDone)
-	close(f.done)
-	if f.onDone != nil {
-		f.onDone()
+// complete publishes completion. Ordering matters: the deadline hook
+// and the wait-channel close come first, and the state store comes
+// last — it is the producer's final touch of the object, so a consumer
+// that observes futDone owns the task exclusively and may Release it.
+func (t *task) complete() {
+	if t.onDone != nil {
+		t.onDone()
+	}
+	if h := t.doneCh.Swap(closedDoneChan); h != nil && h != closedDoneChan {
+		close(h.ch)
+	}
+	t.state.Store(futDone)
+}
+
+// waitChan returns the channel closed at completion, allocating it on
+// first use: only waiters that actually park pay for a channel, which
+// is what keeps the help-first Spawn→Get loop allocation-free.
+func (t *task) waitChan() chan struct{} {
+	if h := t.doneCh.Load(); h != nil {
+		return h.ch
+	}
+	h := &doneChan{ch: make(chan struct{})}
+	if t.doneCh.CompareAndSwap(nil, h) {
+		return h.ch
+	}
+	return t.doneCh.Load().ch
+}
+
+// settleDone spins out the producer's last two stores: the wait channel
+// closes just before state=futDone is published, so a channel-woken
+// waiter may beat the state store by a few instructions.
+func (t *task) settleDone() {
+	for t.state.Load() != futDone {
+		runtime.Gosched()
 	}
 }
 
 // Ready reports whether the result is available without blocking.
-func (f *Future[T]) Ready() bool { return f.state.Load() == futDone }
+func (t *task) Ready() bool { return t.state.Load() == futDone }
 
 // Wait blocks until the result is available. On a worker goroutine it
 // executes other pending tasks while waiting (help-first stealing); on
@@ -270,23 +380,19 @@ func (f *Future[T]) Wait() {
 		return
 	}
 	w := f.rt.currentWorker()
-	if f.fn != nil && f.state.Load() == futCreated {
+	if f.deferred && f.state.Load() == futCreated {
 		// Deferred: the first waiter runs the task inline.
-		fn := f.fn
-		if w != nil {
-			w.executeInline(f.bodyTask(fn))
-		} else {
-			f.run(fn)
-		}
+		runOn(w, f.rt, &f.task)
 		if f.state.Load() == futDone {
 			return
 		}
 	}
 	if w != nil {
-		f.rt.helpWait(w, f.done)
+		f.rt.helpWaitTask(w, &f.task, nil)
 		return
 	}
-	<-f.done
+	<-f.waitChan()
+	f.settleDone()
 }
 
 // Get waits for and returns the result. A panic in the task body is

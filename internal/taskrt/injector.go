@@ -49,6 +49,38 @@ func (q *injector) pushBack(t *task) {
 	}
 }
 
+// pushBackN enqueues a whole batch with a single linearising CAS: the
+// nodes are chained privately first, then the head of the chain is
+// spliced after the current tail exactly like a single push. Safe from
+// any goroutine; consumers observe the batch in order.
+func (q *injector) pushBackN(ts []*task) {
+	if len(ts) == 0 {
+		return
+	}
+	head := &injNode{}
+	head.task.Store(ts[0])
+	chainTail := head
+	for _, t := range ts[1:] {
+		n := &injNode{}
+		n.task.Store(t)
+		chainTail.next.Store(n)
+		chainTail = n
+	}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, head) {
+			q.tail.CompareAndSwap(tail, chainTail)
+			q.size.Add(int64(len(ts)))
+			return
+		}
+	}
+}
+
 // popFront dequeues the oldest task, or nil when the queue is empty.
 // Safe from any goroutine.
 func (q *injector) popFront() *task {

@@ -409,6 +409,38 @@ func (rt *Runtime) RegisterCounters(reg *core.Registry) error {
 		}
 	}
 
+	// Adaptive-inline grain counters: the self-measured inline threshold
+	// plus exact counts of the policy's decisions (see inline.go). The
+	// threshold is a gauge (no reset); the decision counts reset like
+	// the other event counters.
+	grainSpecs := []struct {
+		counter, help string
+		val           *atomic.Int64
+	}{
+		{"grain/inlined", "async spawns run inline by the adaptive grain policy", &rt.grainInlined},
+		{"grain/spawned", "async spawns enqueued while the adaptive grain policy was active", &rt.grainSpawned},
+	}
+	for _, s := range grainSpecs {
+		s := s
+		name := core.Name{Object: "runtime", Counter: s.counter}.
+			WithInstances(core.LocalityInstance(loc, "total", -1)...)
+		info := core.Info{TypeName: "/runtime/" + s.counter, HelpText: s.help,
+			Unit: core.UnitEvents, Version: "1.0"}
+		if err := reg.Register(core.NewFuncCounter(name, info, 0,
+			s.val.Load, func() { s.val.Store(0) })); err != nil {
+			return err
+		}
+	}
+	thrName := core.Name{Object: "runtime", Counter: "grain/threshold-ns"}.
+		WithInstances(core.LocalityInstance(loc, "total", -1)...)
+	thrInfo := core.Info{TypeName: "/runtime/grain/threshold-ns",
+		HelpText: "adaptive-inline grain threshold derived from the runtime's self-measured spawn cost",
+		Unit:     core.UnitNanoseconds, Version: "1.0"}
+	if err := reg.Register(core.NewFuncCounter(thrName, thrInfo, 0,
+		rt.InlineThresholdNs, nil)); err != nil {
+		return err
+	}
+
 	// Critical-path counters: the online span estimate and the derived
 	// logical parallelism. Each completing task's spawn-path depth plus
 	// its own time is a lower bound on the critical path; the running

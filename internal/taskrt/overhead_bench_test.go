@@ -10,10 +10,11 @@ package taskrt
 //
 // Two numbers come out per grain:
 //
-//   - sched_overhead_pct: (per-task wall time - grain) / grain. The
-//     Task Bench "minimum effective task granularity" view: how small a
-//     task can be before the runtime's own spawn/steal/accounting path
-//     dominates.
+//   - sched_overhead_pct: (per-task wall time - serial body cost) /
+//     serial body cost, with the body cost calibrated by running the
+//     same spin loop outside the runtime. The Task Bench "minimum
+//     effective task granularity" view: how small a task can be before
+//     the runtime's own spawn/steal/accounting path dominates.
 //   - counter_sampling_overhead_pct: relative slowdown from concurrent
 //     counter evaluation. This is the paper's intrinsic-counter cost.
 //
@@ -54,21 +55,31 @@ func totalCounterPatterns() []string {
 }
 
 // runGrainLoad executes nTasks tasks of the given grain from a root
-// worker task (so spawns take the in-pool fast path) and returns the
-// elapsed wall time of the whole batch.
+// worker task and returns the elapsed wall time of the whole run. It
+// uses the fast spawn surface a tuned wide node uses: one batch spawn
+// per wave (one deque-window publish, one notify), the known grain
+// passed as the adaptive-inline hint, and futures recycled with
+// Release so the steady state allocates nothing.
 func runGrainLoad(rt *Runtime, nTasks int, grain time.Duration) time.Duration {
 	const wave = 256 // bounded fan-out per wait, like the Inncabs loops
+	grainNs := grain.Nanoseconds()
 	root := AsyncF(rt, func() time.Duration {
-		begin := time.Now()
-		fs := make([]*Future[int], 0, wave)
-		for i := 0; i < nTasks; i++ {
-			fs = append(fs, AsyncF(rt, func() int { spin(grain); return 1 }))
-			if len(fs) == wave {
-				WaitAllOf(fs)
-				fs = fs[:0]
-			}
+		body := func() int { spin(grain); return 1 }
+		fns := make([]func() int, wave)
+		for i := range fns {
+			fns[i] = body
 		}
-		WaitAllOf(fs)
+		begin := time.Now()
+		for remaining := nTasks; remaining > 0; {
+			n := wave
+			if remaining < n {
+				n = remaining
+			}
+			fs := AsyncBatchGrain(rt, grainNs, fns[:n])
+			WaitAllOf(fs)
+			ReleaseAll(fs)
+			remaining -= n
+		}
 		return time.Since(begin)
 	})
 	return root.Get()
@@ -79,7 +90,7 @@ func runGrainLoad(rt *Runtime, nTasks int, grain time.Duration) time.Duration {
 // the default watchdog sweeping the health heuristics, and optionally
 // with causal tracing recording every task.
 func measureGrain(workers, nTasks int, grain time.Duration, sampled, watchdog, traced bool) time.Duration {
-	rt := New(WithWorkers(workers))
+	rt := New(WithWorkers(workers), WithAdaptiveInlining())
 	defer rt.Shutdown()
 	if watchdog {
 		rt.StartWatchdog(WatchdogConfig{})
@@ -127,14 +138,48 @@ func measureGrain(workers, nTasks int, grain time.Duration, sampled, watchdog, t
 	return elapsed
 }
 
-// grainPoint is one row of the overhead-vs-grain table.
+// grainPoint is one row of the overhead-vs-grain table. BodyUs is the
+// calibrated serial cost of one task body — what the same work costs
+// with no runtime under it — and is the baseline the overhead
+// percentage is computed against.
 type grainPoint struct {
 	GrainUs            float64 `json:"grain_us"`
+	BodyUs             float64 `json:"body_us"`
 	Tasks              int     `json:"tasks"`
 	PerTaskUs          float64 `json:"per_task_us"`
 	SchedOverheadPct   float64 `json:"sched_overhead_pct"`
 	CounterOverheadPct float64 `json:"counter_sampling_overhead_pct"`
 	SampledPerTaskUs   float64 `json:"sampled_per_task_us"`
+}
+
+// calibrateBodyNs measures the serial per-iteration cost of the spin
+// body outside the runtime. spin overshoots its nominal grain by one
+// clock-poll interval (~10 % at 1 µs on a slow clock), and that
+// overshoot is work the body does, not work the scheduler adds — the
+// Task Bench efficiency metric divides by the serial time for the same
+// reason. Minimum over reps runs.
+func calibrateBodyNs(grain time.Duration, reps int) float64 {
+	// Short exposures: on a shared vCPU a long serial run eats steal
+	// time that the per-wave runtime runs dodge, so keep each rep well
+	// under a scheduling quantum and take the minimum.
+	n := tasksForGrain(grain)
+	if n > 1000 {
+		n = 1000
+	}
+	for int64(n)*grain.Nanoseconds() > 20e6 && n > 10 {
+		n /= 2
+	}
+	best := float64(1 << 62)
+	for r := 0; r < reps; r++ {
+		begin := time.Now()
+		for i := 0; i < n; i++ {
+			spin(grain)
+		}
+		if v := float64(time.Since(begin).Nanoseconds()) / float64(n); v < best {
+			best = v
+		}
+	}
+	return best
 }
 
 // overheadGrains is the sweep the paper's Section VI covers (HPX showed
@@ -176,10 +221,22 @@ func measureGrainPoint(workers int, grain time.Duration, reps int) grainPoint {
 	}
 	bare := best(false)
 	sampled := best(true)
+	bodyNs := calibrateBodyNs(grain, 3)
 	perTask := float64(bare.Nanoseconds()) / float64(nTasks)
-	// Per-worker ideal: tasks run grain-long bodies spread over the pool.
-	ideal := float64(grain.Nanoseconds()) * float64(nTasks) / float64(workers)
+	// Per-worker ideal: the measured serial body cost spread over the
+	// pool. A pool wider than the machine cannot run more than NumCPU
+	// bodies at once, so the ideal is bounded by the effective
+	// parallelism — otherwise an oversubscribed sweep reports phantom
+	// overhead.
+	eff := workers
+	if n := runtime.NumCPU(); eff > n {
+		eff = n
+	}
+	ideal := bodyNs * float64(nTasks) / float64(eff)
 	schedPct := (float64(bare.Nanoseconds()) - ideal) / ideal * 100
+	if schedPct < 0 {
+		schedPct = 0 // calibration noise: the runtime cannot beat the serial body
+	}
 	counterPct := (float64(sampled.Nanoseconds()) - float64(bare.Nanoseconds())) /
 		float64(bare.Nanoseconds()) * 100
 	if counterPct < 0 {
@@ -187,6 +244,7 @@ func measureGrainPoint(workers int, grain time.Duration, reps int) grainPoint {
 	}
 	return grainPoint{
 		GrainUs:            float64(grain.Nanoseconds()) / 1e3,
+		BodyUs:             bodyNs / 1e3,
 		Tasks:              nTasks,
 		PerTaskUs:          perTask / 1e3,
 		SchedOverheadPct:   schedPct,
@@ -330,14 +388,16 @@ func TestCounterOverheadWithinPaperBudget(t *testing.T) {
 }
 
 // TestBenchGate is the CI perf budget (scripts/bench.sh and the CI
-// bench smoke run it with TASKRT_BENCH_GATE=1): it live-measures the
-// 1 µs grain counter-sampling overhead and the spawn+get round trip,
-// failing when the former exceeds 8 % or the latter regresses more
-// than 2× over the committed BENCH_taskrt.json "current" baseline.
-// Both budgets leave headroom over the quiet-machine numbers (≤5 %
-// and 1×) so shared-runner noise does not flake the gate while real
-// regressions — a lock back on the sampling path, an allocation per
-// sample — blow straight through it.
+// bench smoke run it with TASKRT_BENCH_GATE=1). Live measurements:
+// the 1 µs grain counter-sampling overhead (≤ 8 %), the 1 µs grain
+// scheduling overhead (≤ 40 % — the fine-grain budget batch spawn and
+// adaptive inlining exist to hold), the spawn+get round trip (≤ 2×
+// the committed BENCH_taskrt.json "current" baseline) and the batch
+// per-child spawn cost (≤ 1.08× its committed baseline). Every budget
+// leaves headroom over the quiet-machine numbers so shared-runner
+// noise does not flake the gate while real regressions — a lock back
+// on the sampling path, a per-child notify in the batch publish —
+// blow straight through it.
 func TestBenchGate(t *testing.T) {
 	if os.Getenv("TASKRT_BENCH_GATE") == "" {
 		t.Skip("set TASKRT_BENCH_GATE=1 to enforce the perf budgets")
@@ -348,10 +408,17 @@ func TestBenchGate(t *testing.T) {
 	workers := runtime.GOMAXPROCS(0)
 
 	p := measureGrainPoint(workers, 1*time.Microsecond, 3)
-	t.Logf("1µs grain: counter sampling overhead %.2f%% (budget 8%%)", p.CounterOverheadPct)
+	t.Logf("1µs grain: counter sampling overhead %.2f%% (budget 8%%), sched overhead %.2f%% (budget 40%%)",
+		p.CounterOverheadPct, p.SchedOverheadPct)
 	if p.CounterOverheadPct > 8 {
 		t.Errorf("counter sampling overhead at 1µs grain is %.2f%%, budget is 8%%",
 			p.CounterOverheadPct)
+	}
+	// The fine-grain scheduling budget: batch spawn + adaptive inlining
+	// must keep the runtime's own share of a 1 µs task under 40 % (the
+	// pre-batching runtime sat near 80 %).
+	if p.SchedOverheadPct > 40 {
+		t.Errorf("sched overhead at 1µs grain is %.2f%%, budget is 40%%", p.SchedOverheadPct)
 	}
 
 	baselinePath := os.Getenv("TASKRT_BENCH_BASELINE")
@@ -364,7 +431,8 @@ func TestBenchGate(t *testing.T) {
 	}
 	var doc struct {
 		Current struct {
-			SpawnGetNs float64 `json:"spawn_get_ns"`
+			SpawnGetNs   float64 `json:"spawn_get_ns"`
+			BatchSpawnNs float64 `json:"batch_spawn_ns"`
 		} `json:"current"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
@@ -379,36 +447,112 @@ func TestBenchGate(t *testing.T) {
 		t.Errorf("spawn+get %.1f ns regressed more than 2× over the committed %.1f ns",
 			spawn, doc.Current.SpawnGetNs)
 	}
+	if doc.Current.BatchSpawnNs > 0 {
+		// The batch path's budget is much tighter than spawn+get's 2×:
+		// its whole point is a stable low per-child constant, so more
+		// than 8 % over the committed number is a regression. Min of
+		// several runs keeps machine noise out of the comparison.
+		batch := measureBatchSpawnNs()
+		for i := 0; i < 4; i++ {
+			if b := measureBatchSpawnNs(); b < batch {
+				batch = b
+			}
+		}
+		t.Logf("batch spawn: %.1f ns/child (baseline %.1f ns, budget +8%%)",
+			batch, doc.Current.BatchSpawnNs)
+		if batch > 1.08*doc.Current.BatchSpawnNs {
+			t.Errorf("batch spawn %.1f ns/child regressed more than 8%% over the committed %.1f ns",
+				batch, doc.Current.BatchSpawnNs)
+		}
+	}
 }
 
 // benchReport is the schema of BENCH_taskrt.json.
 type benchReport struct {
-	GeneratedBy string       `json:"generated_by"`
-	CPU         string       `json:"cpu"`
-	Workers     int          `json:"workers"`
-	SpawnGetNs  float64      `json:"spawn_get_ns"`
-	GoidNs      float64      `json:"goroutine_id_ns"`
-	LookupNs    float64      `json:"current_worker_lookup_ns"`
-	WatchdogPct float64      `json:"watchdog_overhead_pct_10us"`
-	TracingPct  float64      `json:"tracing_overhead_pct_10us"`
-	Grains      []grainPoint `json:"overhead_by_grain"`
+	GeneratedBy  string  `json:"generated_by"`
+	CPU          string  `json:"cpu"`
+	Workers      int     `json:"workers"`
+	SpawnGetNs   float64 `json:"spawn_get_ns"`
+	BatchSpawnNs float64 `json:"batch_spawn_ns"`
+	GoidNs       float64 `json:"goroutine_id_ns"`
+	LookupNs     float64 `json:"current_worker_lookup_ns"`
+	WatchdogPct  float64 `json:"watchdog_overhead_pct_10us"`
+	TracingPct   float64 `json:"tracing_overhead_pct_10us"`
+	// Adaptive-inline decision state after the 1 µs grain run: the
+	// /runtime{locality#0/total}/grain/* counter values.
+	InlineThresholdNs int64              `json:"inline_threshold_ns"`
+	GrainInlined      int64              `json:"grain_inlined"`
+	GrainSpawned      int64              `json:"grain_spawned"`
+	Grains            []grainPoint       `json:"overhead_by_grain"`
+	WorkerSweep       []workerSweepPoint `json:"overhead_by_workers"`
+}
+
+// workerSweepPoint is one row of the workers×grain sweep: the same
+// sched-overhead quantity as the grain table, at an explicit pool
+// width, so the batch/steal path is exercised beyond one worker.
+type workerSweepPoint struct {
+	Workers          int     `json:"workers"`
+	GrainUs          float64 `json:"grain_us"`
+	PerTaskUs        float64 `json:"per_task_us"`
+	SchedOverheadPct float64 `json:"sched_overhead_pct"`
 }
 
 // measureSpawnGetNs times the canonical spawn+join round trip from a
 // worker task (the BenchmarkSpawnGet loop, without the testing harness).
+// The loop recycles each future, so it times the allocation-free fused
+// lifecycle a spawn-heavy caller gets. Minimum over a few short runs:
+// one long run is a sitting target for vCPU steal.
 func measureSpawnGetNs() float64 {
 	rt := New(WithWorkers(1))
 	defer rt.Shutdown()
-	const n = 20000
-	root := AsyncF(rt, func() time.Duration {
-		begin := time.Now()
-		for i := 0; i < n; i++ {
-			f := AsyncF(rt, func() int { return 1 })
-			f.Get()
+	const n = 5000
+	best := float64(1 << 62)
+	for r := 0; r < 4; r++ {
+		root := AsyncF(rt, func() time.Duration {
+			begin := time.Now()
+			for i := 0; i < n; i++ {
+				f := AsyncF(rt, func() int { return 1 })
+				f.Get()
+				f.Release()
+			}
+			return time.Since(begin)
+		})
+		if v := float64(root.Get().Nanoseconds()) / n; v < best {
+			best = v
 		}
-		return time.Since(begin)
-	})
-	return float64(root.Get().Nanoseconds()) / n
+	}
+	return best
+}
+
+// measureBatchSpawnNs times the per-child cost of the batch spawn path:
+// SpawnBatch waves of empty tasks, joined and recycled, from a worker
+// task. The quantity TestBenchGate budgets against regression.
+func measureBatchSpawnNs() float64 {
+	rt := New(WithWorkers(1))
+	defer rt.Shutdown()
+	const wave = 256
+	const waves = 20
+	best := float64(1 << 62)
+	for r := 0; r < 3; r++ {
+		root := AsyncF(rt, func() time.Duration {
+			body := func() int { return 1 }
+			fns := make([]func() int, wave)
+			for i := range fns {
+				fns[i] = body
+			}
+			begin := time.Now()
+			for i := 0; i < waves; i++ {
+				fs := AsyncBatch(rt, fns)
+				WaitAllOf(fs)
+				ReleaseAll(fs)
+			}
+			return time.Since(begin)
+		})
+		if v := float64(root.Get().Nanoseconds()) / (wave * waves); v < best {
+			best = v
+		}
+	}
+	return best
 }
 
 func measureNs(n int, fn func()) float64 {
@@ -430,19 +574,41 @@ func TestWriteBenchJSON(t *testing.T) {
 	}
 	workers := runtime.GOMAXPROCS(0)
 	rep := benchReport{
-		GeneratedBy: "go test -run TestWriteBenchJSON (scripts/bench.sh)",
-		CPU:         runtime.GOARCH,
-		Workers:     workers,
-		SpawnGetNs:  measureSpawnGetNs(),
-		GoidNs:      measureNs(100000, func() { goroutineID() }),
-		WatchdogPct: measureWatchdogOverheadPct(workers, 8),
-		TracingPct:  measureTracingOverheadPct(workers, 8),
+		GeneratedBy:  "go test -run TestWriteBenchJSON (scripts/bench.sh)",
+		CPU:          runtime.GOARCH,
+		Workers:      workers,
+		SpawnGetNs:   measureSpawnGetNs(),
+		BatchSpawnNs: measureBatchSpawnNs(),
+		GoidNs:       measureNs(100000, func() { goroutineID() }),
+		WatchdogPct:  measureWatchdogOverheadPct(workers, 8),
+		TracingPct:   measureTracingOverheadPct(workers, 8),
 	}
 	rt := New(WithWorkers(1))
 	rep.LookupNs = measureNs(100000, func() { rt.currentWorker() })
 	rt.Shutdown()
+	// Grain counters: one 1 µs run on a fresh adaptive runtime, its
+	// /grain/* decision state snapshotted after the load drains.
+	grt := New(WithWorkers(workers), WithAdaptiveInlining())
+	runGrainLoad(grt, tasksForGrain(time.Microsecond), time.Microsecond)
+	rep.InlineThresholdNs = grt.InlineThresholdNs()
+	rep.GrainInlined = grt.GrainInlined()
+	rep.GrainSpawned = grt.GrainSpawned()
+	grt.Shutdown()
 	for _, g := range overheadGrains {
 		rep.Grains = append(rep.Grains, measureGrainPoint(workers, g, 3))
+	}
+	// Pool-width sweep: the 1 and 10 µs grains at 1 and 4 workers, so
+	// the batch publish is drained by thieves as well as by its owner.
+	for _, w := range []int{1, 4} {
+		for _, g := range []time.Duration{time.Microsecond, 10 * time.Microsecond} {
+			p := measureGrainPoint(w, g, 2)
+			rep.WorkerSweep = append(rep.WorkerSweep, workerSweepPoint{
+				Workers:          w,
+				GrainUs:          p.GrainUs,
+				PerTaskUs:        p.PerTaskUs,
+				SchedOverheadPct: p.SchedOverheadPct,
+			})
+		}
 	}
 
 	doc := map[string]json.RawMessage{}

@@ -16,10 +16,11 @@ import (
 type Option func(*config)
 
 type config struct {
-	workers      int
-	locality     int64
-	taskDeadline time.Duration
-	shedLimit    int64
+	workers        int
+	locality       int64
+	taskDeadline   time.Duration
+	shedLimit      int64
+	adaptiveInline bool
 }
 
 // WithWorkers sets the number of worker goroutines (the paper's
@@ -96,6 +97,17 @@ type Runtime struct {
 	// admission controller.
 	shed atomic.Int64
 
+	// Adaptive-inline state (see inline.go): the policy flag (read-only
+	// after New), the self-measured spawn-cost EWMAs, the profiled
+	// task-grain EWMA, and the decision counters behind the
+	// /runtime{locality#L/total}/grain/* family.
+	adaptiveInline bool
+	submitCostNs   atomic.Int64 // EWMA: submit-side cost of one single spawn
+	dispatchCostNs atomic.Int64 // EWMA: dispatch-side cost of one dequeue
+	grainNsEWMA    atomic.Int64 // EWMA: task own-time (profiled grain)
+	grainInlined   atomic.Int64 // children run inline by the policy
+	grainSpawned   atomic.Int64 // children enqueued while the policy was on
+
 	// Watchdog state: cumulative health-event counts by kind that have
 	// no per-worker attribution, plus the monitor itself.
 	healthBacklog  atomic.Int64 // backlog_growth events
@@ -153,12 +165,13 @@ func New(opts ...Option) *Runtime {
 		o(&cfg)
 	}
 	rt := &Runtime{
-		injector:     newInjector(),
-		wakeup:       newNotifier(),
-		wmap:         newWorkerMap(),
-		locality:     cfg.locality,
-		taskDeadline: cfg.taskDeadline,
-		shedLimit:    cfg.shedLimit,
+		injector:       newInjector(),
+		wakeup:         newNotifier(),
+		wmap:           newWorkerMap(),
+		locality:       cfg.locality,
+		taskDeadline:   cfg.taskDeadline,
+		shedLimit:      cfg.shedLimit,
+		adaptiveInline: cfg.adaptiveInline,
 	}
 	rt.rng.Store(uint64(time.Now().UnixNano()) | 1)
 	rt.workers = make([]*worker, cfg.workers)
@@ -258,12 +271,51 @@ func (rt *Runtime) submitFrom(w *worker, t *task) error {
 		n := w.queue.pushBack(t)
 		rt.pending.Add(1)
 		w.metrics.notePending(n)
+		elapsed := time.Since(begin).Nanoseconds()
+		w.metrics.overheadNs.Add(elapsed)
+		if rt.adaptiveInline {
+			rt.noteSubmitCost(elapsed)
+		}
+		rt.wakeup.notify()
+		return nil
+	}
+	if rt.adaptiveInline {
+		begin := time.Now()
+		rt.injector.pushBack(t)
+		rt.pending.Add(1)
+		rt.noteSubmitCost(time.Since(begin).Nanoseconds())
+	} else {
+		rt.injector.pushBack(t)
+		rt.pending.Add(1)
+	}
+	rt.wakeup.notify()
+	return nil
+}
+
+// submitBatchFrom enqueues a whole batch as one scheduler transaction:
+// one deque window publish (or one injector chain splice from outside
+// the pool), one pending add, one peak update, one wakeup notify.
+// Batch submits do not feed the spawn-cost EWMA — the inline threshold
+// models the cost of scheduling one child singly, the counterfactual
+// the adaptive policy decides against.
+func (rt *Runtime) submitBatchFrom(w *worker, ts []*task) error {
+	if rt.closed.Load() {
+		return ErrClosed
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	if w != nil && w.rt == rt {
+		begin := time.Now()
+		n := w.queue.pushBackN(ts)
+		rt.pending.Add(int64(len(ts)))
+		w.metrics.notePending(n)
 		w.metrics.overheadNs.Add(time.Since(begin).Nanoseconds())
 		rt.wakeup.notify()
 		return nil
 	}
-	rt.injector.pushBack(t)
-	rt.pending.Add(1)
+	rt.injector.pushBackN(ts)
+	rt.pending.Add(int64(len(ts)))
 	rt.wakeup.notify()
 	return nil
 }
@@ -400,9 +452,16 @@ func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 	if !searchStart.IsZero() {
 		dispatchNs = begin.Sub(searchStart).Nanoseconds()
 		w.metrics.overheadNs.Add(dispatchNs)
+		if w.rt.adaptiveInline {
+			w.rt.noteDispatchCost(dispatchNs)
+		}
 	}
 	saved := w.nestedNs
 	w.nestedNs = 0
+	// The consumer may Release (recycle) the fused task the instant it
+	// completes, so everything needed after the body is snapshotted
+	// before exec; the producer's last touch of t happens inside exec.
+	tMeta, tDepth := t.meta, t.depthNs
 	// Publish the running task's scope (for cancellation inheritance),
 	// identity and spawn-path depth (for causal tracing and the online
 	// span estimator), and start time (for watchdog stall detection);
@@ -412,12 +471,12 @@ func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 	w.curCtx = t.ctx
 	savedID, savedDepth := w.curTaskID, w.curDepthNs
 	w.curTaskID = 0
-	if t.meta != nil {
-		w.curTaskID = t.meta.id
+	if tMeta != nil {
+		w.curTaskID = tMeta.id
 	}
-	w.curDepthNs = t.depthNs
+	w.curDepthNs = tDepth
 	savedStart := w.metrics.taskStartNs.Swap(begin.UnixNano())
-	t.fn(w)
+	t.exec()
 	w.metrics.taskStartNs.Store(savedStart)
 	w.curCtx = savedCtx
 	w.curTaskID, w.curDepthNs = savedID, savedDepth
@@ -436,7 +495,10 @@ func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 	if dispatchNs > 0 {
 		w.ovhHist.Record(dispatchNs)
 	}
-	if d := t.depthNs + own; d > w.metrics.spanMaxNs.Load() {
+	if w.rt.adaptiveInline {
+		core.EWMAUpdate(&w.rt.grainNsEWMA, own)
+	}
+	if d := tDepth + own; d > w.metrics.spanMaxNs.Load() {
 		w.metrics.spanMaxNs.Store(d)
 	}
 	if tr := w.rt.loadTracer(); tr != nil {
@@ -448,7 +510,7 @@ func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 			Duration:    time.Duration(own),
 			Inline:      inline,
 		}
-		if m := t.meta; m != nil {
+		if m := tMeta; m != nil {
 			ev.ID = m.id
 			ev.Parent = m.parent
 			ev.SpawnWorker = int(m.spawnWorker)
@@ -456,28 +518,26 @@ func (w *worker) timeTask(t *task, inline bool, searchStart time.Time) {
 			ev.SpawnTime = time.Unix(0, m.spawnNs)
 			ev.sitePCs = m.sitePCs
 		}
-		tr.record(ev)
+		tr.record(w, ev)
 	}
 }
 
-// execute runs one task from the scheduling loop and recycles it.
-// searchStart is when the dispatch search for this task began.
+// execute runs one task from the scheduling loop. searchStart is when
+// the dispatch search for this task began.
 func (w *worker) execute(t *task, searchStart time.Time) {
 	w.metrics.active.Store(1)
 	w.nestedNs = 0 // top of the stack: nothing to report up
 	w.timeTask(t, false, searchStart)
 	w.metrics.active.Store(0)
-	freeTask(t)
 }
 
-// executeInline runs a task on the current goroutine (Fork/Sync policies
-// and help-first waiting), accounting it like a scheduled task but
-// tagging it as inline. Ownership of t transfers to the callee: the
-// task is recycled after it runs.
+// executeInline runs a task on the current goroutine (Fork/Sync
+// policies, adaptive inlining and help-first waiting), accounting it
+// like a scheduled task but tagging it as inline. The task must not be
+// touched afterwards: its consumer may already have released it.
 func (w *worker) executeInline(t *task) {
 	w.timeTask(t, true, time.Time{})
 	w.metrics.inlineExecuted.Add(1)
-	freeTask(t)
 }
 
 // spawnDepthNs returns the spawn-path depth for a task being spawned
@@ -503,20 +563,15 @@ func (rt *Runtime) currentWorker() *worker {
 	return rt.wmap.lookup(goroutineID())
 }
 
-// helpWait runs help and accounts the whole wait as non-own time of the
-// enclosing task: a task's recorded duration excludes the time it spent
-// waiting on futures, matching HPX's suspended-thread semantics.
-func (rt *Runtime) helpWait(w *worker, done <-chan struct{}) {
-	rt.helpWaitUntil(w, done, nil)
-}
-
-// helpWaitUntil is helpWait with an optional abort channel: it returns
-// true when done closed, false when abort closed first. The wait time
-// is accounted as non-own time of the enclosing task either way.
-func (rt *Runtime) helpWaitUntil(w *worker, done, abort <-chan struct{}) bool {
+// helpWaitTask runs helpUntilDone and accounts the whole wait as
+// non-own time of the enclosing task: a task's recorded duration
+// excludes the time it spent waiting on futures, matching HPX's
+// suspended-thread semantics. Returns true when t completed, false
+// when the optional abort channel (nil = never) closed first.
+func (rt *Runtime) helpWaitTask(w *worker, t *task, abort <-chan struct{}) bool {
 	saved := w.nestedNs
 	begin := time.Now()
-	ok := rt.help(w, done, abort)
+	ok := rt.helpUntilDone(w, t, abort)
 	w.nestedNs = saved + time.Since(begin).Nanoseconds()
 	return ok
 }
@@ -525,19 +580,20 @@ func (rt *Runtime) helpWaitUntil(w *worker, done, abort <-chan struct{}) bool {
 // runnable work; it only matters in genuinely idle phases.
 const helpPollInterval = 20 * time.Microsecond
 
-// help lets the calling worker make progress while it waits for done to
-// close: it executes local tasks first, then stolen ones, and parks on
-// done when no work exists. Returns true when done closed, false when
-// the optional abort channel (nil = never) closed first.
-func (rt *Runtime) help(w *worker, done, abort <-chan struct{}) bool {
+// helpUntilDone lets the calling worker make progress while it waits
+// for t to complete: it executes local tasks first, then stolen ones,
+// and parks on the task's wait channel when no work exists. The
+// completion check polls the task's state directly, so the common case
+// — the waited-for child found and run by this very loop — never
+// allocates the channel. Returns true when t completed, false when the
+// optional abort channel (nil = never) closed first.
+func (rt *Runtime) helpUntilDone(w *worker, t *task, abort <-chan struct{}) bool {
 	// One reusable timer across poll iterations: allocated lazily the
 	// first time this wait actually idles, reset thereafter.
 	var timer *time.Timer
 	for {
-		select {
-		case <-done:
+		if t.state.Load() == futDone {
 			return true
-		default:
 		}
 		if abort != nil {
 			select {
@@ -546,8 +602,8 @@ func (rt *Runtime) help(w *worker, done, abort <-chan struct{}) bool {
 			default:
 			}
 		}
-		if t := w.find(); t != nil {
-			w.executeInline(t)
+		if nt := w.find(); nt != nil {
+			w.executeInline(nt)
 			continue
 		}
 		// No runnable work: block until the future completes or the
@@ -555,6 +611,10 @@ func (rt *Runtime) help(w *worker, done, abort <-chan struct{}) bool {
 		// than integrating done into the notifier, keeping the wait
 		// structure simple. A nil abort case never fires, so the
 		// three-way select also serves the two-channel wait.
+		done := t.waitChan()
+		if t.state.Load() == futDone {
+			return true
+		}
 		idleStart := time.Now()
 		if timer == nil {
 			timer = time.NewTimer(helpPollInterval)
@@ -573,9 +633,10 @@ func (rt *Runtime) help(w *worker, done, abort <-chan struct{}) bool {
 		}
 		select {
 		case <-done:
+			// The state store trails the channel close by a couple of
+			// instructions; the loop head re-checks it.
 			stopTimer()
 			w.metrics.idleNs.Add(time.Since(idleStart).Nanoseconds())
-			return true
 		case <-abort:
 			stopTimer()
 			w.metrics.idleNs.Add(time.Since(idleStart).Nanoseconds())

@@ -193,7 +193,7 @@ func TestShutdownIdempotentAndSpawnAfter(t *testing.T) {
 func TestSubmitAfterClose(t *testing.T) {
 	rt := New(WithWorkers(1))
 	rt.Shutdown()
-	if err := rt.submit(&task{fn: func(*worker) {}}); err != ErrClosed {
+	if err := rt.submit(&task{}); err != ErrClosed {
 		t.Fatalf("submit after close = %v", err)
 	}
 }

@@ -85,7 +85,11 @@ type taskMeta struct {
 	sitePCs     [siteDepth]uintptr
 }
 
-// tracer is the bounded event sink.
+// tracer is the bounded event sink. The hot path appends to per-worker
+// chunks (one short lock on an uncontended per-worker mutex) flushed
+// into the shared buffer in blocks of traceChunkCap, so concurrent
+// workers — and the recording worker vs. a concurrent retrieval — never
+// serialize on the shared append per event.
 type tracer struct {
 	mu      sync.Mutex
 	events  []TraceEvent
@@ -93,7 +97,23 @@ type tracer struct {
 	dropped atomic.Int64
 	// ids hands out task identities for this session.
 	ids atomic.Int64
+	// chunks holds one event block per worker; retrieval flushes them.
+	chunks []traceChunk
 }
+
+// traceChunk is one worker's private event block. The mutex is only
+// contended when a retrieval (TraceEvents) races the recording worker;
+// padding keeps neighbouring workers' chunks off one cache line.
+type traceChunk struct {
+	_   [cacheLineSize]byte
+	mu  sync.Mutex
+	buf []TraceEvent
+	_   [cacheLineSize]byte
+}
+
+// traceChunkCap is the per-worker block size: events move into the
+// shared buffer one block — not one event — at a time.
+const traceChunkCap = 256
 
 const defaultTraceLimit = 1 << 20
 
@@ -104,7 +124,7 @@ func (rt *Runtime) EnableTracing(limit int) {
 	if limit <= 0 {
 		limit = defaultTraceLimit
 	}
-	t := &tracer{limit: limit}
+	t := &tracer{limit: limit, chunks: make([]traceChunk, len(rt.workers))}
 	rt.trace.Store(t)
 }
 
@@ -126,6 +146,7 @@ func (rt *Runtime) TraceEvents() ([]TraceEvent, int64) {
 	if t == nil {
 		return nil, 0
 	}
+	t.flushAll()
 	t.mu.Lock()
 	out := append([]TraceEvent(nil), t.events...)
 	t.mu.Unlock()
@@ -141,6 +162,9 @@ func (rt *Runtime) TraceEvents() ([]TraceEvent, int64) {
 // trace buffer is visible through the same plane as everything else.
 func (rt *Runtime) TraceDropped() int64 {
 	if t := rt.currentOrLastTracer(); t != nil {
+		// Block-buffered events only hit the limit at flush time, so a
+		// counter read drains the chunks first — the count stays exact.
+		t.flushAll()
 		return t.dropped.Load()
 	}
 	return 0
@@ -189,8 +213,40 @@ func (t *tracer) newMeta(w *worker, nowNs int64, skip int) *taskMeta {
 	return m
 }
 
-// record appends one event if tracing is enabled.
-func (t *tracer) record(ev TraceEvent) {
+// newMetaFrom is newMeta with a pre-captured spawn stack: batch spawns
+// capture the call stack once and stamp every member with it.
+func (t *tracer) newMetaFrom(w *worker, nowNs int64, pcs [siteDepth]uintptr) *taskMeta {
+	m := &taskMeta{
+		id:          t.ids.Add(1),
+		spawnNs:     nowNs,
+		spawnWorker: -1,
+		stolenFrom:  -1,
+		sitePCs:     pcs,
+	}
+	if w != nil {
+		m.parent = w.curTaskID
+		m.spawnWorker = int32(w.id)
+	}
+	return m
+}
+
+// record appends one event: onto the recording worker's private chunk
+// when called from a worker, else (external execution paths) onto the
+// shared buffer directly.
+func (t *tracer) record(w *worker, ev TraceEvent) {
+	if w != nil && w.id < len(t.chunks) {
+		c := &t.chunks[w.id]
+		c.mu.Lock()
+		if c.buf == nil {
+			c.buf = make([]TraceEvent, 0, traceChunkCap)
+		}
+		c.buf = append(c.buf, ev)
+		if len(c.buf) >= traceChunkCap {
+			t.flushChunk(c)
+		}
+		c.mu.Unlock()
+		return
+	}
 	t.mu.Lock()
 	if len(t.events) < t.limit {
 		t.events = append(t.events, ev)
@@ -199,6 +255,40 @@ func (t *tracer) record(ev TraceEvent) {
 	}
 	t.mu.Unlock()
 	t.dropped.Add(1)
+}
+
+// flushChunk moves a chunk's events into the shared buffer with one
+// append, counting whatever the limit rejects. The caller holds c.mu;
+// lock order is chunk.mu -> tracer.mu, always.
+func (t *tracer) flushChunk(c *traceChunk) {
+	t.mu.Lock()
+	room := t.limit - len(t.events)
+	n := len(c.buf)
+	if n > room {
+		t.dropped.Add(int64(n - room))
+		n = room
+	}
+	if n > 0 {
+		t.events = append(t.events, c.buf[:n]...)
+	}
+	t.mu.Unlock()
+	c.buf = c.buf[:0]
+}
+
+// flushAll drains every per-worker chunk into the shared buffer;
+// retrieval paths call it so block-buffered events are never missing
+// from a snapshot. Event order across workers is not chronological —
+// AnalyzeTrace and the Chrome export order by id and timestamp, not
+// buffer position.
+func (t *tracer) flushAll() {
+	for i := range t.chunks {
+		c := &t.chunks[i]
+		c.mu.Lock()
+		if len(c.buf) > 0 {
+			t.flushChunk(c)
+		}
+		c.mu.Unlock()
+	}
 }
 
 // ---------------------------------------------------------------------------
